@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper.  Full-scale traces
+take tens of minutes for the whole suite, so benchmarks run shortened
+traces by default; set ``REPRO_BENCH_SCALE=1.0`` (and
+``REPRO_BENCH_FULL=1`` for the full parameter sweeps) to reproduce the
+numbers recorded in EXPERIMENTS.md.  Each benchmark writes the table it
+regenerates to ``benchmarks/results/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+#: Directory where regenerated tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """Trace scale used by the benchmarks (env-overridable)."""
+    return ExperimentScale(
+        trace_scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+    )
+
+
+def full_sweeps() -> bool:
+    """True when the full parameter sweeps should be run."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+def save_table(name: str, table: str) -> Path:
+    """Write a regenerated table to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    scale = os.environ.get("REPRO_BENCH_SCALE", "0.35")
+    header = f"# regenerated with REPRO_BENCH_SCALE={scale}\n"
+    path.write_text(header + table + "\n")
+    return path
+
+
+@pytest.fixture
+def scale() -> ExperimentScale:
+    """The benchmark trace scale."""
+    return bench_scale()

@@ -1,0 +1,38 @@
+"""Benchmark regenerating the page-remap anatomy microbenchmark (Figure 3)."""
+
+from benchmarks.conftest import save_table
+from repro.experiments.anatomy import format_anatomy, run_anatomy
+
+
+def test_bench_anatomy(benchmark):
+    result = benchmark.pedantic(
+        run_anatomy, kwargs=dict(num_cpus=16), rounds=1, iterations=1
+    )
+    save_table("anatomy", format_anatomy(result))
+
+    software = result.row("software")
+    hatric = result.row("hatric")
+    ideal = result.row("ideal")
+    unitd = result.row("unitd")
+
+    # Software coherence IPIs every other vCPU and VM-exits all of them.
+    assert software.ipis == result.num_cpus - 1
+    assert software.vm_exits == result.num_cpus - 1
+    assert software.entries_flushed > 0
+    # The paper quotes ~1300 cycles per VM exit: target-side cost per CPU
+    # must be in the thousands.
+    assert software.max_target_cycles > 2000
+
+    # HATRIC sends no IPIs, causes no VM exits and flushes nothing.
+    assert hatric.ipis == 0
+    assert hatric.vm_exits == 0
+    assert hatric.entries_flushed == 0
+    assert hatric.max_target_cycles < software.max_target_cycles / 10
+
+    # UNITD++ avoids exits too but still flushes MMU caches and nTLBs.
+    assert unitd.vm_exits == 0
+    assert unitd.entries_flushed > 0
+
+    # The ideal oracle charges nothing at all.
+    assert ideal.initiator_cycles == 0
+    assert ideal.total_target_cycles == 0

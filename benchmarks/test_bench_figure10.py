@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 10 (multiprogrammed SPEC mixes)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.workloads.spec_mix import NUM_MIXES
+
+
+def test_bench_figure10(benchmark, scale):
+    num_mixes = NUM_MIXES if full_sweeps() else 6
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs=dict(num_mixes=num_mixes, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure10", format_figure10(result))
+
+    sw = result.series("sw")
+    hatric = result.series("hatric")
+    assert len(sw) == len(hatric) == num_mixes
+    # HATRIC improves both metrics for every mix relative to software.
+    by_mix = {o.mix: o for o in hatric}
+    for outcome in sw:
+        counterpart = by_mix[outcome.mix]
+        assert counterpart.weighted_runtime <= outcome.weighted_runtime + 1e-9
+        assert counterpart.slowest_runtime <= outcome.slowest_runtime + 1e-9
+    # Software coherence hurts fairness far more often than HATRIC does.
+    assert result.fraction_regressing("hatric") <= result.fraction_regressing("sw")

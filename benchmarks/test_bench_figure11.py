@@ -1,0 +1,56 @@
+"""Benchmark regenerating Figure 11 (performance-energy and co-tag sizing)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure11 import (
+    COTAG_SIZES,
+    SMALL_WORKLOADS,
+    format_figure11_left,
+    format_figure11_right,
+    run_figure11_left,
+    run_figure11_right,
+)
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure11_left(benchmark, scale):
+    if full_sweeps():
+        big, small = PAPER_WORKLOADS, SMALL_WORKLOADS
+    else:
+        big, small = PAPER_WORKLOADS[:2], SMALL_WORKLOADS[:2]
+    result = benchmark.pedantic(
+        run_figure11_left,
+        kwargs=dict(big_workloads=big, small_workloads=small, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure11_left", format_figure11_left(result))
+
+    for point in result.points:
+        # HATRIC never loses performance against the software baseline.
+        assert point.relative_runtime <= 1.02
+        if point.paged:
+            # Paging workloads also save energy.
+            assert point.relative_energy <= 1.02
+        else:
+            # Small-footprint workloads may pay a tiny co-tag energy tax.
+            assert point.relative_energy <= 1.05
+
+
+def test_bench_figure11_right(benchmark, scale):
+    workloads = PAPER_WORKLOADS if full_sweeps() else PAPER_WORKLOADS[:2]
+    result = benchmark.pedantic(
+        run_figure11_right,
+        kwargs=dict(workloads=workloads, cotag_sizes=COTAG_SIZES, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure11_right", format_figure11_right(result))
+
+    one = result.cell(1)
+    two = result.cell(2)
+    three = result.cell(3)
+    # Wider co-tags never hurt performance (less aliasing)...
+    assert two.relative_runtime <= one.relative_runtime + 0.02
+    assert three.relative_runtime <= two.relative_runtime + 0.02
+    # ...but 3-byte tags cost more energy than the 2-byte design point.
+    assert three.relative_energy >= two.relative_energy - 0.01

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 12 (directory design ablation)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure12 import (
+    FIGURE12_DESIGNS,
+    format_figure12,
+    run_figure12,
+)
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure12(benchmark, scale):
+    workloads = PAPER_WORKLOADS if full_sweeps() else PAPER_WORKLOADS[:2]
+    result = benchmark.pedantic(
+        run_figure12,
+        kwargs=dict(workloads=workloads, designs=FIGURE12_DESIGNS, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure12", format_figure12(result))
+
+    baseline = result.cell("hatric")
+    # Every variant performs about the same as baseline HATRIC...
+    for design in FIGURE12_DESIGNS:
+        assert abs(result.cell(design).relative_runtime - baseline.relative_runtime) < 0.08
+    # ...and none of them is meaningfully more energy-efficient.
+    assert result.cell("FG-tracking").relative_energy >= baseline.relative_energy - 0.02
+    assert result.cell("EGR-dir-update").relative_energy >= baseline.relative_energy - 0.02

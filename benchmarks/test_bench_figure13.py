@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 13 (HATRIC vs UNITD++)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure13 import format_figure13, run_figure13
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure13(benchmark, scale):
+    workloads = PAPER_WORKLOADS if full_sweeps() else PAPER_WORKLOADS[:3]
+    result = benchmark.pedantic(
+        run_figure13,
+        kwargs=dict(workloads=workloads, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure13", format_figure13(result))
+
+    for workload in workloads:
+        sw = result.value(workload, "sw")
+        unitd = result.value(workload, "unitd++")
+        hatric = result.value(workload, "hatric")
+        # Both hardware mechanisms beat software coherence; HATRIC is at
+        # least as good as UNITD++ on both axes.
+        assert unitd.normalized_runtime <= sw.normalized_runtime + 1e-9
+        assert hatric.normalized_runtime <= unitd.normalized_runtime + 0.01
+        assert hatric.normalized_energy <= unitd.normalized_energy + 0.01

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 2 (motivation: coherence overheads)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure2 import format_figure2, run_figure2
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure2(benchmark, scale):
+    workloads = PAPER_WORKLOADS if full_sweeps() else PAPER_WORKLOADS[:3]
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs=dict(workloads=workloads, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_figure2(result)
+    save_table("figure2", table)
+
+    for row in result.rows:
+        runtimes = row.normalized_runtime
+        # Die-stacked DRAM with ideal coherence beats no-hbm...
+        assert runtimes["inf-hbm"] < 1.0
+        assert runtimes["achievable"] < 1.0
+        # ...and software coherence erases a large part of the benefit.
+        assert runtimes["curr-best"] >= runtimes["achievable"]
+        # Ideal-coherence paging approaches the infinite-capacity bound.
+        assert runtimes["achievable"] <= runtimes["inf-hbm"] + 0.15

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 7 (runtime vs vCPU count)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure7 import (
+    FIGURE7_SERIES,
+    VCPU_COUNTS,
+    format_figure7,
+    run_figure7,
+)
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure7(benchmark, scale):
+    if full_sweeps():
+        workloads, vcpus = PAPER_WORKLOADS, VCPU_COUNTS
+    else:
+        workloads, vcpus = PAPER_WORKLOADS[:2], (4, 16)
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs=dict(workloads=workloads, vcpu_counts=vcpus, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure7", format_figure7(result))
+
+    for workload in workloads:
+        for count in vcpus:
+            sw = result.value(workload, count, "sw")
+            hatric = result.value(workload, count, "hatric")
+            ideal = result.value(workload, count, "ideal")
+            # HATRIC tracks ideal closely and never loses to software.
+            assert hatric <= sw + 1e-9
+            assert abs(hatric - ideal) <= 0.06

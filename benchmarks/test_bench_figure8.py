@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 8 (paging policy sweep)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure8 import (
+    FIGURE8_POLICIES,
+    format_figure8,
+    run_figure8,
+)
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure8(benchmark, scale):
+    workloads = PAPER_WORKLOADS if full_sweeps() else PAPER_WORKLOADS[:2]
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs=dict(workloads=workloads, policies=FIGURE8_POLICIES, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure8", format_figure8(result))
+
+    for workload in workloads:
+        for policy in FIGURE8_POLICIES:
+            sw = result.value(workload, policy, "sw")
+            hatric = result.value(workload, policy, "hatric")
+            ideal = result.value(workload, policy, "ideal")
+            # HATRIC improves every policy and tracks ideal.
+            assert hatric <= sw + 1e-9
+            assert abs(hatric - ideal) <= 0.06

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 9 (translation structure size sweep)."""
+
+from benchmarks.conftest import full_sweeps, save_table
+from repro.experiments.figure9 import SIZE_SCALES, format_figure9, run_figure9
+from repro.experiments.runner import PAPER_WORKLOADS
+
+
+def test_bench_figure9(benchmark, scale):
+    if full_sweeps():
+        workloads, sizes = PAPER_WORKLOADS, SIZE_SCALES
+    else:
+        workloads, sizes = PAPER_WORKLOADS[:2], (1, 4)
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs=dict(workloads=workloads, size_scales=sizes, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("figure9", format_figure9(result))
+
+    for workload in workloads:
+        small, large = min(sizes), max(sizes)
+        # Bigger structures help HATRIC at least as much as they help the
+        # flush-dominated software baseline.
+        hatric_gain = result.value(workload, small, "hatric") - result.value(
+            workload, large, "hatric"
+        )
+        sw_gain = result.value(workload, small, "sw") - result.value(
+            workload, large, "sw"
+        )
+        assert hatric_gain >= sw_gain - 0.05
+        for size in sizes:
+            assert result.value(workload, size, "hatric") <= result.value(
+                workload, size, "sw"
+            ) + 1e-9

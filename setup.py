@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may lack the ``wheel`` package
+needed for PEP 660 editable installs; keeping a ``setup.py`` allows
+``pip install -e . --no-use-pep517 --no-build-isolation`` as a fallback.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

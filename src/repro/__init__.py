@@ -1,0 +1,57 @@
+"""HATRIC reproduction: Hardware Translation Coherence for Virtualized Systems.
+
+This package is a trace-driven, functional reproduction of the system
+described in "Hardware Translation Coherence for Virtualized Systems"
+(Yan, Cox, Vesely, Bhattacharjee - ISCA 2017).  It models a virtualized
+multi-core system with:
+
+* two-dimensional (guest + nested) x86-64-style page tables,
+* per-CPU TLBs, MMU (paging-structure) caches and nested TLBs,
+* a private L1/L2 + shared LLC cache hierarchy kept coherent by a
+  dual-grain directory-based MESI protocol,
+* a two-tier (die-stacked + off-chip DRAM) memory system managed by a
+  KVM- or Xen-like hypervisor with pluggable paging policies, and
+* pluggable *translation coherence* protocols: the software shootdown
+  baseline, UNITD++, an ideal zero-cost protocol, and HATRIC itself.
+
+The top-level namespace re-exports the pieces most users need; the
+experiments that regenerate each figure of the paper live under
+:mod:`repro.experiments`.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoherenceDirectoryConfig,
+    MemoryConfig,
+    PagingConfig,
+    SystemConfig,
+    TranslationConfig,
+)
+from repro.sim.costs import CostModel
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.core.protocol import (
+    PROTOCOLS,
+    TranslationCoherenceProtocol,
+    make_protocol,
+)
+from repro.workloads import WORKLOADS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoherenceDirectoryConfig",
+    "CostModel",
+    "MemoryConfig",
+    "PagingConfig",
+    "PROTOCOLS",
+    "SimulationResult",
+    "Simulator",
+    "SystemConfig",
+    "TranslationCoherenceProtocol",
+    "TranslationConfig",
+    "WORKLOADS",
+    "make_workload",
+    "make_protocol",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Cache coherence substrate.
+
+A directory-based MESI protocol with dual-grain directories (after
+Zebchuk et al., MICRO 2013, which the paper builds on).  HATRIC extends
+the directory entries with nPT/gPT bits and delivers invalidations for
+page-table lines to translation structures as well as private caches.
+"""
+
+from repro.coherence.mesi import MESIState
+from repro.coherence.messages import CoherenceMessage, MessageType
+from repro.coherence.directory import (
+    CoherenceDirectory,
+    DirectoryEntry,
+    DirectoryStats,
+    SharerKind,
+)
+
+__all__ = [
+    "CoherenceDirectory",
+    "CoherenceMessage",
+    "DirectoryEntry",
+    "DirectoryStats",
+    "MESIState",
+    "MessageType",
+    "SharerKind",
+]

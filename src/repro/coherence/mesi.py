@@ -1,0 +1,30 @@
+"""MESI coherence states.
+
+Translation structures are read-only, so their entries only ever use the
+Shared and Invalid states (realised as presence/absence in the
+structures); private data caches use the full MESI set.  HATRIC layers
+on top of the protocol without adding states (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MESIState(Enum):
+    """Classic MESI cache-line states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        """Return True for any state other than Invalid."""
+        return self is not MESIState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """Return True if a local write needs no further coherence action."""
+        return self in (MESIState.MODIFIED, MESIState.EXCLUSIVE)

@@ -1,0 +1,43 @@
+"""Coherence message types exchanged between CPUs and the directory.
+
+The simulator does not model an interconnect cycle-by-cycle; messages
+are accounted for (count and latency) so that HATRIC's extra traffic and
+the software baseline's IPI storms can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class MessageType(Enum):
+    """Kinds of coherence traffic the directory generates or receives."""
+
+    READ_REQUEST = "read"
+    WRITE_REQUEST = "write"
+    INVALIDATE = "invalidate"
+    BACK_INVALIDATE = "back-invalidate"
+    SHARER_DEMOTION = "sharer-demotion"
+    ACKNOWLEDGE = "ack"
+
+
+@dataclass(frozen=True)
+class CoherenceMessage:
+    """One coherence message, used for accounting and tests.
+
+    Attributes:
+        kind: what the message asks for.
+        line: cache-line address the message concerns.
+        source: CPU id (or None for the directory) that sent the message.
+        destination: CPU id (or None for the directory) that receives it.
+        is_page_table: True when the line holds page table entries, in
+            which case HATRIC also delivers it to translation structures.
+    """
+
+    kind: MessageType
+    line: int
+    source: Optional[int]
+    destination: Optional[int]
+    is_page_table: bool = False

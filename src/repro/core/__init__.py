@@ -1,0 +1,32 @@
+"""The paper's contribution: translation coherence protocols.
+
+This subpackage contains HATRIC itself plus every comparison point the
+paper evaluates: the software shootdown baseline used by KVM/Xen today,
+UNITD++ (UNITD extended with virtualization support), and an ideal
+zero-overhead protocol.
+"""
+
+from repro.core.cotag import CoTagScheme, DEFAULT_COTAG_SCHEME
+from repro.core.protocol import (
+    PROTOCOLS,
+    RemapEvent,
+    TranslationCoherenceProtocol,
+    make_protocol,
+)
+from repro.core.software import SoftwareShootdown
+from repro.core.hatric import Hatric
+from repro.core.unitd import UnitdPlusPlus
+from repro.core.ideal import IdealCoherence
+
+__all__ = [
+    "CoTagScheme",
+    "DEFAULT_COTAG_SCHEME",
+    "Hatric",
+    "IdealCoherence",
+    "PROTOCOLS",
+    "RemapEvent",
+    "SoftwareShootdown",
+    "TranslationCoherenceProtocol",
+    "UnitdPlusPlus",
+    "make_protocol",
+]

@@ -1,0 +1,70 @@
+"""Co-tags: the tag extensions HATRIC adds to translation structures.
+
+A co-tag stores (a subset of the bits of) the *system physical address of
+the nested page table entry* a cached translation was filled from
+(Section 4.1).  Because the hypervisor knows which nested page table
+entry it modified -- but not the guest virtual address of the affected
+translations -- co-tags let translation structures be invalidated
+precisely without any guest involvement.
+
+Full 8-byte addresses would double TLB entry size, so HATRIC truncates
+the co-tag.  Cache coherence operates at 64-byte cache-line granularity
+(8 PTEs per line), so the three line-offset bits carry no information
+and are dropped; the remaining least-significant (highest-entropy) bits
+are kept up to the configured width.  Narrow co-tags therefore alias:
+nested page table entries whose line addresses agree in the kept bits
+invalidate each other's cached translations.  The paper's Figure 11
+(right) sweeps this width; 2 bytes is the design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.translation.address import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class CoTagScheme:
+    """Co-tag encoding parameters.
+
+    Attributes:
+        size_bytes: storage dedicated to the co-tag in every translation
+            structure entry (the paper studies 1, 2 and 3 bytes).
+    """
+
+    size_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError("co-tags need at least one byte")
+
+    @property
+    def bits(self) -> int:
+        """Number of address bits retained in the co-tag."""
+        return self.size_bytes * 8
+
+    @property
+    def line_shift(self) -> int:
+        """Bits dropped below the co-tag: the cache-line offset."""
+        return CACHE_LINE_SIZE.bit_length() - 1
+
+    def cotag_of(self, pte_address: int) -> int:
+        """Compute the co-tag for a page table entry at ``pte_address``.
+
+        The entry's cache-line address is truncated to the configured
+        number of bits.  Two entries in the same cache line always share
+        a co-tag (coherence cannot distinguish them); entries in distinct
+        lines may still collide if the co-tag is narrow.
+        """
+        line = pte_address >> self.line_shift
+        return line & ((1 << self.bits) - 1)
+
+    def aliases(self, address_a: int, address_b: int) -> bool:
+        """Return True if two PTE addresses map to the same co-tag."""
+        return self.cotag_of(address_a) == self.cotag_of(address_b)
+
+
+#: The paper's chosen design point: 2-byte co-tags (bits 19..3 of the
+#: nested page table entry's system physical address).
+DEFAULT_COTAG_SCHEME = CoTagScheme(size_bytes=2)

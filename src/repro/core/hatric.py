@@ -1,0 +1,83 @@
+"""HATRIC: hardware translation invalidation and coherence.
+
+HATRIC (Section 4) folds translation coherence into the existing
+directory-based cache coherence protocol:
+
+* translation structure entries carry *co-tags* -- truncated system
+  physical addresses of the nested page table entries they were filled
+  from -- so they can be identified without knowing the guest virtual
+  address;
+* the coherence directory's sharer lists (extended with nPT/gPT bits)
+  already name the CPUs that may cache the affected page table line, in
+  their private caches *or* translation structures;
+* when the hypervisor's store to the nested page table entry reaches the
+  directory, invalidation messages flow to exactly those CPUs, which
+  drop matching cache lines and co-tag-matching translation entries in
+  hardware -- no IPIs, no VM exits, no flushes.
+"""
+
+from __future__ import annotations
+
+from repro.core.cotag import CoTagScheme, DEFAULT_COTAG_SCHEME
+from repro.core.protocol import (
+    RemapCost,
+    RemapEvent,
+    TranslationCoherenceProtocol,
+    register_protocol,
+)
+from repro.translation.address import cache_line_of
+
+
+@register_protocol
+class Hatric(TranslationCoherenceProtocol):
+    """The paper's proposed mechanism (``hatric`` in the figures)."""
+
+    name = "hatric"
+    uses_cotags = True
+    tracks_translation_sharers = True
+
+    def __init__(self, cotag_scheme: CoTagScheme | None = None) -> None:
+        super().__init__()
+        self.cotag_scheme = cotag_scheme or DEFAULT_COTAG_SCHEME
+
+    def on_nested_remap(self, event: RemapEvent) -> RemapCost:
+        assert self.chip is not None and self.stats is not None and self.costs is not None
+        chip, stats, costs = self.chip, self.stats, self.costs
+        cost = RemapCost()
+
+        line = cache_line_of(event.pte_address)
+        cotag = self.cotag_scheme.cotag_of(event.pte_address)
+        stats.count("coherence.remaps")
+
+        # The hypervisor's store transitions the line towards Modified;
+        # the directory replies with the sharer list.
+        outcome = chip.page_table_write(line, event.initiator_cpu)
+        initiator_cycles = costs.directory_lookup + costs.coherence_message
+        self._charge_initiator(event, initiator_cycles, cost)
+
+        # The initiator's own structures may cache the stale translation;
+        # the local co-tag match happens as part of the store.
+        own_report = chip.core(event.initiator_cpu).invalidate_by_cotag(cotag)
+        stats.count(
+            "hatric.invalidated_entries", own_report.translation_entries
+        )
+
+        page_table_line = outcome.is_nested_pt or outcome.is_guest_pt
+        for cpu in outcome.invalidate_cpus:
+            core = chip.core(cpu)
+            held_cache = core.invalidate_private_line(line)
+            invalidated = 0
+            if page_table_line:
+                report = core.invalidate_by_cotag(cotag)
+                invalidated = report.translation_entries
+                stats.count("hatric.invalidated_entries", invalidated)
+                stats.count("hatric.cotag_searches", 4)
+            stats.count("hatric.invalidation_messages")
+            # Target-side handling is pure hardware: the co-tag CAM search
+            # overlaps with execution, so only a small cost is charged.
+            target_cycles = costs.coherence_message + 4 * costs.cotag_search
+            self._charge_target(cpu, target_cycles, cost)
+            if not held_cache and invalidated == 0:
+                chip.note_spurious(line, cpu)
+
+        return cost

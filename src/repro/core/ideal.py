@@ -1,0 +1,44 @@
+"""Ideal zero-overhead translation coherence.
+
+This is the paper's *achievable* / *ideal* configuration: translation
+structures are kept coherent by an oracle that charges no cycles and no
+energy.  Stale entries are still removed (correctness is preserved), and
+only the stale entries are removed (perfect precision), so the remaining
+runtime difference against HATRIC isolates HATRIC's residual overheads.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import (
+    RemapCost,
+    RemapEvent,
+    TranslationCoherenceProtocol,
+    register_protocol,
+)
+from repro.translation.address import cache_line_of
+
+
+@register_protocol
+class IdealCoherence(TranslationCoherenceProtocol):
+    """Zero-cost oracle coherence (``ideal`` in the figures)."""
+
+    name = "ideal"
+    uses_cotags = False
+    tracks_translation_sharers = False
+
+    def on_nested_remap(self, event: RemapEvent) -> RemapCost:
+        assert self.chip is not None and self.stats is not None
+        chip, stats = self.chip, self.stats
+        stats.count("coherence.remaps")
+
+        # The store still propagates through ordinary cache coherence so
+        # the simulated cache contents stay consistent, but no cycles are
+        # charged anywhere.
+        line = cache_line_of(event.pte_address)
+        outcome = chip.page_table_write(line, event.initiator_cpu)
+        chip.invalidate_private_caches(line, outcome.invalidate_cpus)
+
+        for core in chip.cores:
+            report = core.invalidate_by_pt_line(line)
+            stats.count("ideal.invalidated_entries", report.translation_entries)
+        return RemapCost()

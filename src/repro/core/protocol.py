@@ -1,0 +1,143 @@
+"""Translation coherence protocol interface and registry.
+
+A translation coherence protocol is notified whenever privileged
+software changes a nested page table entry (the paper's focus) and is
+responsible for making sure no CPU keeps using a stale cached
+translation -- charging whatever cycles and events its mechanism costs.
+
+Four protocols are provided:
+
+=============  =====================================================
+``software``   today's baseline: IPIs, VM exits, full flushes
+``unitd``      UNITD++: hardware TLB coherence, MMU cache/nTLB flushed
+``hatric``     the paper's contribution: co-tag based selective
+               invalidation of all translation structures
+``ideal``      zero-overhead oracle (the paper's *ideal*/achievable)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.sim.costs import CostModel
+from repro.sim.stats import MachineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cpu.chip import Chip
+
+
+@dataclass
+class RemapEvent:
+    """Description of one nested page table modification.
+
+    Attributes:
+        initiator_cpu: physical CPU running the hypervisor code that
+            performs the remap.
+        target_cpus: physical CPUs that may hold translations of the VM
+            whose page is being remapped -- i.e. every CPU that has run
+            one of the VM's vCPUs.  This is the (imprecise) set software
+            coherence must conservatively act on.
+        gpp: guest physical page being remapped.
+        old_spp: system physical page the mapping pointed at before the
+            change (None if the page was not previously mapped).
+        new_spp: the new system physical page (None for an unmap).
+        pte_address: system physical address of the nested L1 page table
+            entry that was written.
+        vm_id: identifier of the affected VM.
+        background: True when the remap was initiated by background
+            hypervisor activity (migration daemon) whose initiator-side
+            cost should not land on any CPU's critical path.
+    """
+
+    initiator_cpu: int
+    target_cpus: Sequence[int]
+    gpp: int
+    old_spp: Optional[int]
+    new_spp: Optional[int]
+    pte_address: int
+    vm_id: int = 0
+    background: bool = False
+
+
+@dataclass
+class RemapCost:
+    """Cycles a remap charged, split by where they landed."""
+
+    initiator_cycles: int = 0
+    target_cycles: dict[int, int] = field(default_factory=dict)
+
+    def total(self) -> int:
+        """Total cycles charged anywhere."""
+        return self.initiator_cycles + sum(self.target_cycles.values())
+
+
+class TranslationCoherenceProtocol(ABC):
+    """Base class for translation coherence mechanisms."""
+
+    #: registry name, overridden by subclasses.
+    name: str = "abstract"
+    #: True when translation structure entries must carry co-tags.
+    uses_cotags: bool = False
+    #: True when the coherence directory must track which CPUs cache
+    #: translations (so invalidations can be piggybacked on it).
+    tracks_translation_sharers: bool = False
+
+    def __init__(self) -> None:
+        self.chip: Optional["Chip"] = None
+        self.stats: Optional[MachineStats] = None
+        self.costs: Optional[CostModel] = None
+
+    def bind(self, chip: "Chip", stats: MachineStats, costs: CostModel) -> None:
+        """Attach the protocol to a simulated machine."""
+        self.chip = chip
+        self.stats = stats
+        self.costs = costs
+
+    @abstractmethod
+    def on_nested_remap(self, event: RemapEvent) -> RemapCost:
+        """Handle one nested page table change; return the cycles charged."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _charge_initiator(self, event: RemapEvent, cycles: int, cost: RemapCost) -> None:
+        """Charge initiator-side cycles (to the CPU or to background work)."""
+        assert self.stats is not None
+        cost.initiator_cycles += cycles
+        if event.background:
+            self.stats.charge_background(cycles)
+        else:
+            self.stats.charge_cpu(event.initiator_cpu, cycles, coherence=True)
+
+    def _charge_target(self, cpu: int, cycles: int, cost: RemapCost) -> None:
+        """Charge target-side cycles to a CPU's critical path."""
+        assert self.stats is not None
+        cost.target_cycles[cpu] = cost.target_cycles.get(cpu, 0) + cycles
+        self.stats.charge_cpu(cpu, cycles, coherence=True)
+
+
+#: Registry mapping protocol names to classes; populated by the concrete
+#: protocol modules at import time (see :mod:`repro.core`).
+PROTOCOLS: dict[str, type[TranslationCoherenceProtocol]] = {}
+
+
+def register_protocol(cls: type[TranslationCoherenceProtocol]):
+    """Class decorator adding a protocol to :data:`PROTOCOLS`."""
+    PROTOCOLS[cls.name] = cls
+    return cls
+
+
+def make_protocol(name: str) -> TranslationCoherenceProtocol:
+    """Instantiate a protocol by registry name."""
+    # Importing the implementations lazily avoids circular imports when a
+    # user imports this module directly.
+    from repro.core import hatric, ideal, software, unitd  # noqa: F401
+
+    try:
+        return PROTOCOLS[name]()
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(f"unknown protocol {name!r}; known protocols: {known}")

@@ -1,0 +1,79 @@
+"""Software translation coherence: today's IPI + VM exit + flush baseline.
+
+This is the mechanism Section 3.2 of the paper dissects (Figure 3):
+
+1. the hypervisor sets the TLB-flush-request bit of *every* vCPU of the
+   VM (it cannot tell which CPUs actually cache the stale translation);
+2. it sends an IPI to every physical CPU running one of those vCPUs and
+   waits for acknowledgments;
+3. each target takes a VM exit, flushes its TLBs, MMU cache and nTLB
+   completely (x86 has no instruction to selectively invalidate a TLB
+   entry by guest *physical* address, and none at all for MMU caches and
+   nTLBs), acknowledges, and re-enters the guest.
+
+The costs of every step land on CPU critical paths, and the flushes
+force expensive two-dimensional page table walks afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import (
+    RemapCost,
+    RemapEvent,
+    TranslationCoherenceProtocol,
+    register_protocol,
+)
+from repro.translation.address import cache_line_of
+
+
+@register_protocol
+class SoftwareShootdown(TranslationCoherenceProtocol):
+    """The software shootdown baseline (``sw`` in the paper's figures)."""
+
+    name = "software"
+    uses_cotags = False
+    tracks_translation_sharers = False
+
+    def on_nested_remap(self, event: RemapEvent) -> RemapCost:
+        assert self.chip is not None and self.stats is not None and self.costs is not None
+        chip, stats, costs = self.chip, self.stats, self.costs
+        cost = RemapCost()
+
+        # The store to the nested PTE still goes through ordinary cache
+        # coherence so other private caches drop their copy of the line.
+        line = cache_line_of(event.pte_address)
+        outcome = chip.page_table_write(line, event.initiator_cpu)
+        chip.invalidate_private_caches(line, outcome.invalidate_cpus)
+
+        targets = [c for c in event.target_cpus if c != event.initiator_cpu]
+        stats.count("coherence.remaps")
+        stats.count("coherence.ipis", len(targets))
+
+        # Initiator: set the per-vCPU flush request bits, fire the IPIs,
+        # then spin until every target acknowledges.
+        initiator_cycles = (
+            costs.shootdown_setup
+            + costs.ipi_send * len(targets)
+            + costs.ack_wait * len(targets)
+            + costs.full_translation_flush
+        )
+        self._charge_initiator(event, initiator_cycles, cost)
+
+        # The initiator's own translation structures are flushed as well
+        # (it will re-enter the guest with the flush request pending).
+        report = chip.core(event.initiator_cpu).flush_translation_structures()
+        stats.count("coherence.full_flushes")
+        stats.count("coherence.flushed_entries", report.translation_entries)
+
+        # Targets: VM exit, flush everything, re-enter the guest.
+        for cpu in targets:
+            target_cycles = (
+                costs.vm_exit + costs.full_translation_flush + costs.vm_entry
+            )
+            self._charge_target(cpu, target_cycles, cost)
+            report = chip.core(cpu).flush_translation_structures()
+            stats.count("coherence.vm_exits")
+            stats.count("coherence.full_flushes")
+            stats.count("coherence.flushed_entries", report.translation_entries)
+
+        return cost

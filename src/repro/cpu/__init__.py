@@ -1,0 +1,6 @@
+"""CPU and chip models: per-CPU translation/caching structures and their assembly."""
+
+from repro.cpu.core import CpuCore, TranslationOutcome
+from repro.cpu.chip import Chip
+
+__all__ = ["Chip", "CpuCore", "TranslationOutcome"]

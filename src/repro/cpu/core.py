@@ -1,0 +1,195 @@
+"""One CPU core: translation structures, private caches, and the walker.
+
+A core exposes the two operations the simulator needs per memory
+reference -- translate a guest virtual page and access the resulting
+system physical address -- plus the invalidation entry points the
+translation coherence protocols call into (full flush for the software
+baseline, co-tag matched invalidation for HATRIC, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cotag import CoTagScheme
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import CacheHierarchy
+from repro.sim.config import SystemConfig
+from repro.sim.costs import CostModel
+from repro.translation.structures import MMUCache, NestedTLB, TLB
+from repro.translation.walker import AddressSpaceContext, PageTableWalker
+
+
+@dataclass
+class TranslationOutcome:
+    """Result of translating one guest virtual page on a core.
+
+    Attributes:
+        spp: the system physical page (valid when ``fault`` is None).
+        cycles: cycles spent on translation (TLB lookups and any walk).
+        fault: None, ``"guest"`` or ``"nested"``.
+        source: ``"l1-tlb"``, ``"l2-tlb"`` or ``"walk"``.
+    """
+
+    spp: int
+    cycles: int
+    fault: Optional[str] = None
+    source: str = "l1-tlb"
+
+
+@dataclass
+class InvalidationReport:
+    """What a coherence action removed from one core's structures."""
+
+    tlb_entries: int = 0
+    mmu_entries: int = 0
+    ntlb_entries: int = 0
+    cache_lines: int = 0
+
+    @property
+    def translation_entries(self) -> int:
+        """Total translation structure entries invalidated."""
+        return self.tlb_entries + self.mmu_entries + self.ntlb_entries
+
+    @property
+    def anything(self) -> bool:
+        """True if the action removed anything at all."""
+        return self.translation_entries > 0 or self.cache_lines > 0
+
+
+class CpuCore:
+    """A single CPU with its private translation and cache structures."""
+
+    def __init__(
+        self,
+        cpu_id: int,
+        config: SystemConfig,
+        llc: Cache,
+        memory,
+        cotag_scheme: Optional[CoTagScheme],
+        coherence_listener=None,
+        fill_listener=None,
+    ) -> None:
+        self.cpu_id = cpu_id
+        self.config = config
+        self.costs: CostModel = config.costs
+        tr = config.translation
+        self.tlb_l1 = TLB(f"cpu{cpu_id}.l1tlb", tr.effective_l1_tlb)
+        self.tlb_l2 = TLB(f"cpu{cpu_id}.l2tlb", tr.effective_l2_tlb)
+        self.mmu_cache = MMUCache(f"cpu{cpu_id}.mmu", tr.effective_mmu_cache)
+        self.ntlb = NestedTLB(f"cpu{cpu_id}.ntlb", tr.effective_ntlb)
+        cache_cfg = config.cache
+        self.l1 = Cache(
+            f"cpu{cpu_id}.l1",
+            cache_cfg.l1_size,
+            cache_cfg.l1_associativity,
+            cache_cfg.l1_latency,
+        )
+        self.l2 = Cache(
+            f"cpu{cpu_id}.l2",
+            cache_cfg.l2_size,
+            cache_cfg.l2_associativity,
+            cache_cfg.l2_latency,
+        )
+        self.hierarchy = CacheHierarchy(
+            cpu_id, self.l1, self.l2, llc, memory, listener=coherence_listener
+        )
+        self.walker = PageTableWalker(
+            hierarchy=self.hierarchy,
+            tlb_l1=self.tlb_l1,
+            tlb_l2=self.tlb_l2,
+            mmu_cache=self.mmu_cache,
+            ntlb=self.ntlb,
+            cotag_scheme=cotag_scheme,
+            fill_listener=fill_listener,
+            l2_tlb_latency=self.costs.l2_tlb_latency,
+        )
+
+    # ------------------------------------------------------------------
+    # translation and data access
+    # ------------------------------------------------------------------
+    def translate(
+        self, ctx: AddressSpaceContext, gvp: int, is_write: bool = False
+    ) -> TranslationOutcome:
+        """Translate ``gvp`` in the given address space."""
+        key = TLB.key_for(ctx.vm_id, gvp)
+        cycles = self.costs.l1_tlb_latency
+        hit = self.tlb_l1.lookup(key)
+        if hit is not None:
+            return TranslationOutcome(spp=hit.value, cycles=cycles, source="l1-tlb")
+
+        cycles += self.costs.l2_tlb_latency
+        hit = self.tlb_l2.lookup(key)
+        if hit is not None:
+            self.tlb_l1.insert(key, hit.value, cotag=hit.cotag, pt_line=hit.pt_line)
+            return TranslationOutcome(spp=hit.value, cycles=cycles, source="l2-tlb")
+
+        walk = self.walker.walk(ctx, gvp, is_write=is_write)
+        cycles += walk.cycles
+        return TranslationOutcome(
+            spp=walk.spp, cycles=cycles, fault=walk.fault, source="walk"
+        )
+
+    def access_data(self, spa: int, is_write: bool = False) -> int:
+        """Access data at a system physical address; return cycles."""
+        return self.hierarchy.access(spa, is_write=is_write).cycles
+
+    # ------------------------------------------------------------------
+    # translation coherence entry points
+    # ------------------------------------------------------------------
+    def flush_translation_structures(self) -> InvalidationReport:
+        """Flush TLBs, MMU cache and nTLB (the software baseline's action)."""
+        report = InvalidationReport()
+        report.tlb_entries += self.tlb_l1.flush()
+        report.tlb_entries += self.tlb_l2.flush()
+        report.mmu_entries += self.mmu_cache.flush()
+        report.ntlb_entries += self.ntlb.flush()
+        return report
+
+    def invalidate_by_cotag(self, cotag: int) -> InvalidationReport:
+        """Invalidate all translation entries whose co-tag matches (HATRIC)."""
+        report = InvalidationReport()
+        report.tlb_entries += self.tlb_l1.invalidate_matching_cotag(cotag)
+        report.tlb_entries += self.tlb_l2.invalidate_matching_cotag(cotag)
+        report.mmu_entries += self.mmu_cache.invalidate_matching_cotag(cotag)
+        report.ntlb_entries += self.ntlb.invalidate_matching_cotag(cotag)
+        return report
+
+    def invalidate_tlb_by_line(self, pt_line: int) -> InvalidationReport:
+        """Invalidate only TLB entries filled from ``pt_line`` (UNITD++)."""
+        report = InvalidationReport()
+        report.tlb_entries += self.tlb_l1.invalidate_matching_line(pt_line)
+        report.tlb_entries += self.tlb_l2.invalidate_matching_line(pt_line)
+        return report
+
+    def invalidate_by_pt_line(self, pt_line: int) -> InvalidationReport:
+        """Precisely invalidate every translation filled from ``pt_line``."""
+        report = InvalidationReport()
+        report.tlb_entries += self.tlb_l1.invalidate_matching_line(pt_line)
+        report.tlb_entries += self.tlb_l2.invalidate_matching_line(pt_line)
+        report.mmu_entries += self.mmu_cache.invalidate_matching_line(pt_line)
+        report.ntlb_entries += self.ntlb.invalidate_matching_line(pt_line)
+        return report
+
+    def flush_mmu_and_ntlb(self) -> InvalidationReport:
+        """Flush only the MMU cache and nTLB (UNITD++ cannot keep them coherent)."""
+        report = InvalidationReport()
+        report.mmu_entries += self.mmu_cache.flush()
+        report.ntlb_entries += self.ntlb.flush()
+        return report
+
+    def invalidate_private_line(self, line: int) -> bool:
+        """Invalidate one line from the private data caches."""
+        return self.hierarchy.invalidate_line(line)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def translation_structures(self):
+        """Return the four translation structures (for stats / energy)."""
+        return (self.tlb_l1, self.tlb_l2, self.mmu_cache, self.ntlb)
+
+    def resident_translation_entries(self) -> int:
+        """Total entries currently cached across translation structures."""
+        return sum(len(s) for s in self.translation_structures())

@@ -1,0 +1,5 @@
+"""Energy accounting for the simulated system."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParameters
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParameters"]

@@ -1,0 +1,191 @@
+"""Analytic energy model.
+
+The paper uses CACTI 6.0 plus RTL modelling to evaluate energy
+(Section 5.1); neither is available here, so this module substitutes an
+analytic model with per-event dynamic energies and per-cycle static
+power in arbitrary-but-consistent nanojoule units.  Only *relative*
+energy between design points is ever reported (all the paper's energy
+figures are normalized), so the ordering of the per-event costs is what
+matters:
+
+* on-chip structure lookups cost far less than cache/DRAM accesses;
+* co-tags add a small per-lookup and per-cycle cost proportional to
+  their width (the 2% area overhead of Section 6);
+* UNITD's reverse-lookup CAM search costs several times more than
+  HATRIC's narrow co-tag comparison;
+* VM exits, IPIs and page copies are the big software-side consumers;
+* static energy scales with runtime, which is how HATRIC converts its
+  speedups into energy savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.chip import Chip
+    from repro.sim.stats import MachineStats
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event dynamic energies (nJ) and static powers (nJ/cycle)."""
+
+    # Translation structures.
+    tlb_lookup: float = 0.008
+    mmu_cache_lookup: float = 0.004
+    ntlb_lookup: float = 0.004
+    #: extra energy per lookup per co-tag byte stored in the entry.
+    cotag_lookup_per_byte: float = 0.0006
+    #: one co-tag CAM search across a structure (HATRIC invalidation).
+    cotag_search: float = 0.02
+    #: one reverse-lookup CAM search (UNITD).
+    unitd_cam_search: float = 0.08
+
+    # Cache hierarchy and memory.
+    l1_access: float = 0.03
+    l2_access: float = 0.10
+    llc_access: float = 0.50
+    fast_mem_access: float = 2.0
+    slow_mem_access: float = 4.0
+
+    # Coherence and virtualization events.
+    directory_lookup: float = 0.05
+    directory_fine_grained_factor: float = 1.6
+    invalidation_message: float = 0.03
+    vm_exit: float = 3.0
+    ipi: float = 1.5
+    page_copy: float = 60.0
+    eager_structure_lookup: float = 0.02
+
+    # Static power.
+    cpu_static_per_cycle: float = 0.05
+    #: additional static power per CPU per co-tag byte (co-tag storage in
+    #: TLBs, MMU caches and nTLBs).
+    cotag_static_per_byte_per_cycle: float = 0.0004
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one run, split into components (arbitrary nJ units)."""
+
+    dynamic: float = 0.0
+    static: float = 0.0
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total energy (dynamic + static)."""
+        return self.dynamic + self.static
+
+    def add(self, component: str, amount: float, static: bool = False) -> None:
+        """Accumulate ``amount`` under ``component``."""
+        self.components[component] = self.components.get(component, 0.0) + amount
+        if static:
+            self.static += amount
+        else:
+            self.dynamic += amount
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyBreakdown` from a finished simulation."""
+
+    def __init__(
+        self,
+        params: EnergyParameters | None = None,
+        cotag_bytes: int = 0,
+        fine_grained_directory: bool = False,
+    ) -> None:
+        self.params = params or EnergyParameters()
+        self.cotag_bytes = cotag_bytes
+        self.fine_grained_directory = fine_grained_directory
+
+    def compute(self, chip: "Chip", stats: "MachineStats") -> EnergyBreakdown:
+        """Compute energy for a finished run."""
+        p = self.params
+        breakdown = EnergyBreakdown()
+        events = stats.events
+
+        # --- translation structure lookups --------------------------------
+        tlb_lookups = 0
+        mmu_lookups = 0
+        ntlb_lookups = 0
+        cotag_searches = 0
+        for core in chip.cores:
+            tlb_lookups += core.tlb_l1.stats.lookups + core.tlb_l2.stats.lookups
+            mmu_lookups += core.mmu_cache.stats.lookups
+            ntlb_lookups += core.ntlb.stats.lookups
+            for structure in core.translation_structures():
+                cotag_searches += structure.stats.cotag_searches
+        lookup_energy = (
+            tlb_lookups * p.tlb_lookup
+            + mmu_lookups * p.mmu_cache_lookup
+            + ntlb_lookups * p.ntlb_lookup
+        )
+        breakdown.add("translation.lookups", lookup_energy)
+        if self.cotag_bytes:
+            total_lookups = tlb_lookups + mmu_lookups + ntlb_lookups
+            breakdown.add(
+                "translation.cotag_lookup",
+                total_lookups * p.cotag_lookup_per_byte * self.cotag_bytes,
+            )
+            breakdown.add("translation.cotag_search", cotag_searches * p.cotag_search)
+        breakdown.add(
+            "translation.unitd_cam",
+            events.get("unitd.cam_searches", 0) * p.unitd_cam_search,
+        )
+
+        # --- cache hierarchy and memory ------------------------------------
+        l1_accesses = sum(core.l1.stats.accesses for core in chip.cores)
+        l2_accesses = sum(core.l2.stats.accesses for core in chip.cores)
+        llc_accesses = chip.llc.stats.accesses
+        breakdown.add("cache.l1", l1_accesses * p.l1_access)
+        breakdown.add("cache.l2", l2_accesses * p.l2_access)
+        breakdown.add("cache.llc", llc_accesses * p.llc_access)
+        breakdown.add("memory.fast", chip.memory.fast.accesses * p.fast_mem_access)
+        breakdown.add("memory.slow", chip.memory.slow.accesses * p.slow_mem_access)
+
+        # --- coherence and virtualization events ----------------------------
+        directory_energy = chip.directory.stats.lookups * p.directory_lookup
+        if self.fine_grained_directory:
+            directory_energy *= p.directory_fine_grained_factor
+        breakdown.add("coherence.directory", directory_energy)
+        messages = (
+            events.get("hatric.invalidation_messages", 0)
+            + events.get("unitd.invalidation_messages", 0)
+            + chip.directory.stats.invalidations_sent
+        )
+        breakdown.add("coherence.messages", messages * p.invalidation_message)
+        breakdown.add(
+            "coherence.eager_lookups",
+            events.get("coherence.eager_structure_lookups", 0)
+            * p.eager_structure_lookup,
+        )
+        breakdown.add("virt.vm_exits", events.get("coherence.vm_exits", 0) * p.vm_exit)
+        breakdown.add("virt.ipis", events.get("coherence.ipis", 0) * p.ipi)
+        page_copies = (
+            events.get("paging.evictions", 0)
+            + events.get("paging.demand_migrations", 0)
+            + events.get("paging.prefetches", 0)
+            + events.get("paging.defrag_remaps", 0)
+            + events.get("paging.first_touch", 0) * 0.5
+        )
+        breakdown.add("paging.copies", page_copies * p.page_copy)
+
+        # --- static energy ---------------------------------------------------
+        runtime = stats.runtime_cycles
+        num_cpus = len(chip.cores)
+        breakdown.add(
+            "static.cpu", runtime * num_cpus * p.cpu_static_per_cycle, static=True
+        )
+        if self.cotag_bytes:
+            breakdown.add(
+                "static.cotags",
+                runtime
+                * num_cpus
+                * p.cotag_static_per_byte_per_cycle
+                * self.cotag_bytes,
+                static=True,
+            )
+        return breakdown

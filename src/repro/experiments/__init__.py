@@ -1,0 +1,58 @@
+"""Experiment harnesses regenerating every figure of the paper.
+
+Each module exposes a ``run_*`` function returning a result dataclass
+with the same rows/series the corresponding figure reports, plus a
+``format_*`` helper producing the table printed by the benchmarks and
+examples.  All experiments accept a ``scale`` parameter that shrinks the
+trace length so they can run quickly in CI; the recorded numbers in
+EXPERIMENTS.md use ``scale=1.0``.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    baseline_config,
+    run_configuration,
+)
+from repro.experiments.figure2 import run_figure2, format_figure2
+from repro.experiments.figure7 import run_figure7, format_figure7
+from repro.experiments.figure8 import run_figure8, format_figure8
+from repro.experiments.figure9 import run_figure9, format_figure9
+from repro.experiments.figure10 import run_figure10, format_figure10
+from repro.experiments.figure11 import (
+    run_figure11_left,
+    run_figure11_right,
+    format_figure11_left,
+    format_figure11_right,
+)
+from repro.experiments.figure12 import run_figure12, format_figure12
+from repro.experiments.figure13 import run_figure13, format_figure13
+from repro.experiments.xen_study import run_xen_study, format_xen_study
+from repro.experiments.anatomy import run_anatomy, format_anatomy
+
+__all__ = [
+    "ExperimentScale",
+    "baseline_config",
+    "format_anatomy",
+    "format_figure10",
+    "format_figure11_left",
+    "format_figure11_right",
+    "format_figure12",
+    "format_figure13",
+    "format_figure2",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_xen_study",
+    "run_anatomy",
+    "run_configuration",
+    "run_figure10",
+    "run_figure11_left",
+    "run_figure11_right",
+    "run_figure12",
+    "run_figure13",
+    "run_figure2",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_xen_study",
+]

@@ -1,0 +1,145 @@
+"""Figure 10: multiprogrammed SPEC mixes.
+
+Each mix runs sixteen single-threaded applications inside one 16-vCPU
+VM.  Because the hypervisor can only identify translation coherence
+targets at VM granularity, one application's page migration flushes the
+translation structures -- and VM-exits the vCPUs -- of all the others
+under software coherence.  HATRIC tracks the true sharers, so unrelated
+applications are left alone.
+
+Two metrics per mix, both normalized per application against the same
+application's runtime without die-stacked DRAM:
+
+* **weighted runtime** -- the mean normalized runtime (overall system
+  performance; lower is better);
+* **slowest application** -- the maximum normalized runtime (fairness).
+
+The paper reports that with software coherence more than 70% of the
+mixes lose performance from die-stacking and the slowest application
+often runs 2x slower, while HATRIC improves every single mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    baseline_config,
+    no_hbm_config,
+    run_configuration,
+)
+from repro.sim.simulator import SimulationResult
+from repro.workloads.spec_mix import APPS_PER_MIX, NUM_MIXES, make_spec_mix
+
+FIGURE10_SERIES = ("sw", "hatric")
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric"}
+
+
+@dataclass
+class MixOutcome:
+    """Both metrics for one mix under one mechanism."""
+
+    mix: str
+    series: str
+    weighted_runtime: float
+    slowest_runtime: float
+
+
+@dataclass
+class Figure10Result:
+    """All mixes of Figure 10."""
+
+    outcomes: list[MixOutcome] = field(default_factory=list)
+
+    def series(self, series: str) -> list[MixOutcome]:
+        """Outcomes of one mechanism, sorted by weighted runtime."""
+        picked = [o for o in self.outcomes if o.series == series]
+        return sorted(picked, key=lambda o: o.weighted_runtime)
+
+    def fraction_regressing(self, series: str) -> float:
+        """Fraction of mixes whose weighted runtime exceeds no-hbm (1.0)."""
+        picked = [o for o in self.outcomes if o.series == series]
+        if not picked:
+            return 0.0
+        return sum(o.weighted_runtime > 1.0 for o in picked) / len(picked)
+
+    def fraction_slowest_over(self, series: str, threshold: float = 2.0) -> float:
+        """Fraction of mixes whose slowest app exceeds ``threshold``x."""
+        picked = [o for o in self.outcomes if o.series == series]
+        if not picked:
+            return 0.0
+        return sum(o.slowest_runtime > threshold for o in picked) / len(picked)
+
+
+def _per_app_normalized(
+    run: SimulationResult, baseline: SimulationResult
+) -> list[float]:
+    ratios = []
+    for app, cycles in run.per_app_cycles.items():
+        base = baseline.per_app_cycles.get(app, 0)
+        if base > 0:
+            ratios.append(cycles / base)
+    return ratios
+
+
+def run_figure10(
+    num_mixes: int = NUM_MIXES,
+    apps_per_mix: int = APPS_PER_MIX,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure10Result:
+    """Regenerate Figure 10 over ``num_mixes`` mixes."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure10Result()
+    for index in range(num_mixes):
+        mix = make_spec_mix(index, apps_per_mix=apps_per_mix)
+        baseline = run_configuration(no_hbm_config(apps_per_mix), mix, scale)
+        for series in FIGURE10_SERIES:
+            run = run_configuration(
+                baseline_config(
+                    apps_per_mix, protocol=_PROTOCOL_OF_SERIES[series]
+                ),
+                mix,
+                scale,
+            )
+            ratios = _per_app_normalized(run, baseline)
+            result.outcomes.append(
+                MixOutcome(
+                    mix=mix.name,
+                    series=series,
+                    weighted_runtime=sum(ratios) / len(ratios),
+                    slowest_runtime=max(ratios),
+                )
+            )
+    return result
+
+
+def format_figure10(result: Figure10Result) -> str:
+    """Summarise both panels of Figure 10."""
+    lines = [
+        f"{'mix':<8}{'sw weighted':>12}{'sw slowest':>12}"
+        f"{'hatric weighted':>17}{'hatric slowest':>16}"
+    ]
+    lines.append("-" * len(lines[0]))
+    by_mix: dict[str, dict[str, MixOutcome]] = {}
+    for outcome in result.outcomes:
+        by_mix.setdefault(outcome.mix, {})[outcome.series] = outcome
+    for mix, series in sorted(by_mix.items()):
+        sw, hatric = series.get("sw"), series.get("hatric")
+        lines.append(
+            f"{mix:<8}{sw.weighted_runtime:>12.2f}{sw.slowest_runtime:>12.2f}"
+            f"{hatric.weighted_runtime:>17.2f}{hatric.slowest_runtime:>16.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "mixes regressing under sw: "
+        f"{100 * result.fraction_regressing('sw'):.0f}%  |  under hatric: "
+        f"{100 * result.fraction_regressing('hatric'):.0f}%"
+    )
+    lines.append(
+        "mixes with slowest app >2x under sw: "
+        f"{100 * result.fraction_slowest_over('sw'):.0f}%  |  under hatric: "
+        f"{100 * result.fraction_slowest_over('hatric'):.0f}%"
+    )
+    return "\n".join(lines)

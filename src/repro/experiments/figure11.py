@@ -1,0 +1,184 @@
+"""Figure 11: performance-energy trade-offs and co-tag sizing.
+
+Left panel: every workload (the big-memory suite *and* the
+small-footprint suite whose data fits in die-stacked DRAM) is run with
+the best software paging policy and with HATRIC; each point is HATRIC's
+(runtime, energy) relative to the software baseline.  The paper's
+observations: HATRIC always improves runtime, almost always improves
+energy (1-10% routine), and the rare energy regressions (co-tag overhead
+not amortised) stay within ~1.5%.
+
+Right panel: co-tag width is swept over 1, 2 and 3 bytes on the
+big-memory suite.  2-byte co-tags are the sweet spot; 1-byte tags alias
+too much (extra invalidations cost both time and energy), 3-byte tags
+buy little performance for noticeably more energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    run_configuration,
+)
+from repro.sim.config import TranslationConfig
+from repro.workloads.suite import SMALL_WORKLOAD_SPECS
+
+#: Small-footprint workloads included in the left panel.
+SMALL_WORKLOADS = tuple(SMALL_WORKLOAD_SPECS)
+#: Co-tag widths (bytes) swept by the right panel.
+COTAG_SIZES = (1, 2, 3)
+
+#: Defragmentation interval used for the small-footprint workloads: they
+#: do not page between DRAM tiers, but the hypervisor still compacts
+#: memory to build superpages, which is the residual remap activity the
+#: paper says HATRIC also helps with.
+_SMALL_WORKLOAD_DEFRAG_INTERVAL = 3000
+
+
+@dataclass
+class Figure11Point:
+    """One scatter point of the left panel."""
+
+    workload: str
+    paged: bool
+    relative_runtime: float
+    relative_energy: float
+
+
+@dataclass
+class Figure11LeftResult:
+    """HATRIC vs software baseline for every workload."""
+
+    points: list[Figure11Point] = field(default_factory=list)
+
+    def energy_regressions(self) -> list[Figure11Point]:
+        """Points whose energy exceeds the software baseline."""
+        return [p for p in self.points if p.relative_energy > 1.0]
+
+
+@dataclass
+class Figure11RightCell:
+    """Average relative runtime/energy for one co-tag width."""
+
+    cotag_bytes: int
+    relative_runtime: float
+    relative_energy: float
+
+
+@dataclass
+class Figure11RightResult:
+    """The co-tag sizing sweep."""
+
+    cells: list[Figure11RightCell] = field(default_factory=list)
+
+    def cell(self, cotag_bytes: int) -> Figure11RightCell:
+        """Return the cell for a co-tag width."""
+        for cell in self.cells:
+            if cell.cotag_bytes == cotag_bytes:
+                return cell
+        raise KeyError(cotag_bytes)
+
+
+def run_figure11_left(
+    big_workloads: Sequence[str] = PAPER_WORKLOADS,
+    small_workloads: Sequence[str] = SMALL_WORKLOADS,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure11LeftResult:
+    """Regenerate the left panel of Figure 11."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure11LeftResult()
+    for name, paged in [(w, True) for w in big_workloads] + [
+        (w, False) for w in small_workloads
+    ]:
+        overrides = {}
+        if not paged:
+            paging = baseline_config(num_cpus).paging
+            overrides["paging"] = paging.__class__(
+                policy=paging.policy,
+                migration_daemon=paging.migration_daemon,
+                daemon_free_target=paging.daemon_free_target,
+                prefetch_pages=paging.prefetch_pages,
+                defrag_interval=_SMALL_WORKLOAD_DEFRAG_INTERVAL,
+            )
+        software = run_configuration(
+            baseline_config(num_cpus, protocol="software", **overrides), name, scale
+        )
+        hatric = run_configuration(
+            baseline_config(num_cpus, protocol="hatric", **overrides), name, scale
+        )
+        result.points.append(
+            Figure11Point(
+                workload=name,
+                paged=paged,
+                relative_runtime=hatric.normalized_runtime(software),
+                relative_energy=hatric.normalized_energy(software),
+            )
+        )
+    return result
+
+
+def run_figure11_right(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    cotag_sizes: Sequence[int] = COTAG_SIZES,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure11RightResult:
+    """Regenerate the right panel of Figure 11."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure11RightResult()
+    baselines = {
+        name: run_configuration(
+            baseline_config(num_cpus, protocol="software"), name, scale
+        )
+        for name in workloads
+    }
+    for size in cotag_sizes:
+        runtimes = []
+        energies = []
+        for name in workloads:
+            config = baseline_config(
+                num_cpus,
+                protocol="hatric",
+                translation=TranslationConfig(cotag_bytes=size),
+            )
+            run = run_configuration(config, name, scale)
+            runtimes.append(run.normalized_runtime(baselines[name]))
+            energies.append(run.normalized_energy(baselines[name]))
+        result.cells.append(
+            Figure11RightCell(
+                cotag_bytes=size,
+                relative_runtime=sum(runtimes) / len(runtimes),
+                relative_energy=sum(energies) / len(energies),
+            )
+        )
+    return result
+
+
+def format_figure11_left(result: Figure11LeftResult) -> str:
+    """Render the scatter points as a table."""
+    header = f"{'workload':<16}{'paged':>7}{'runtime':>10}{'energy':>10}"
+    lines = [header, "-" * len(header)]
+    for point in result.points:
+        lines.append(
+            f"{point.workload:<16}{'yes' if point.paged else 'no':>7}"
+            f"{point.relative_runtime:>10.3f}{point.relative_energy:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure11_right(result: Figure11RightResult) -> str:
+    """Render the co-tag sweep as a table."""
+    header = f"{'co-tag bytes':<14}{'runtime':>10}{'energy':>10}"
+    lines = [header, "-" * len(header)]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.cotag_bytes:<14}{cell.relative_runtime:>10.3f}"
+            f"{cell.relative_energy:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Figure 12: coherence directory design decisions (ablation).
+
+Baseline HATRIC (lazy sharer updates, pseudo-specific tracking, finite
+dual-grain directory with back-invalidations) is compared against:
+
+* ``EGR-dir-update`` -- eager sharer updates on every page-table line
+  eviction, which needs extra translation structure lookups;
+* ``FG-tracking``    -- fine-grained (per-structure) sharer tracking,
+  eliminating spurious messages at the cost of a costlier directory;
+* ``No-back-inv``    -- an idealised infinite directory that never needs
+  back-invalidations;
+* ``All``            -- all three combined.
+
+Average runtime and energy are reported normalized to the best software
+paging policy (``sw``), as in the paper: none of the alternatives buys
+meaningful performance over baseline HATRIC, and the eager/fine-grained
+variants cost energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    run_configuration,
+)
+from repro.sim.config import CoherenceDirectoryConfig
+
+#: Design points in figure order.
+FIGURE12_DESIGNS = (
+    "hatric",
+    "EGR-dir-update",
+    "FG-tracking",
+    "No-back-inv",
+    "All",
+)
+
+
+def _directory_for(design: str) -> CoherenceDirectoryConfig:
+    base = CoherenceDirectoryConfig()
+    if design == "hatric":
+        return base
+    if design == "EGR-dir-update":
+        return CoherenceDirectoryConfig(
+            capacity=base.capacity, lazy_pt_sharer_updates=False
+        )
+    if design == "FG-tracking":
+        return CoherenceDirectoryConfig(capacity=base.capacity, fine_grained=True)
+    if design == "No-back-inv":
+        return CoherenceDirectoryConfig(capacity=None)
+    if design == "All":
+        return CoherenceDirectoryConfig(
+            capacity=None, lazy_pt_sharer_updates=False, fine_grained=True
+        )
+    raise ValueError(f"unknown figure-12 design {design!r}")
+
+
+@dataclass
+class Figure12Cell:
+    """Average runtime/energy of one design, normalized to sw."""
+
+    design: str
+    relative_runtime: float
+    relative_energy: float
+
+
+@dataclass
+class Figure12Result:
+    """All design points of Figure 12."""
+
+    cells: list[Figure12Cell] = field(default_factory=list)
+
+    def cell(self, design: str) -> Figure12Cell:
+        """Return the cell for one design point."""
+        for cell in self.cells:
+            if cell.design == design:
+                return cell
+        raise KeyError(design)
+
+
+def run_figure12(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    designs: Sequence[str] = FIGURE12_DESIGNS,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure12Result:
+    """Regenerate Figure 12."""
+    scale = scale or ExperimentScale.from_environment()
+    baselines = {
+        name: run_configuration(
+            baseline_config(num_cpus, protocol="software"), name, scale
+        )
+        for name in workloads
+    }
+    result = Figure12Result()
+    for design in designs:
+        runtimes = []
+        energies = []
+        for name in workloads:
+            config = baseline_config(
+                num_cpus, protocol="hatric", directory=_directory_for(design)
+            )
+            run = run_configuration(config, name, scale)
+            runtimes.append(run.normalized_runtime(baselines[name]))
+            energies.append(run.normalized_energy(baselines[name]))
+        result.cells.append(
+            Figure12Cell(
+                design=design,
+                relative_runtime=sum(runtimes) / len(runtimes),
+                relative_energy=sum(energies) / len(energies),
+            )
+        )
+    return result
+
+
+def format_figure12(result: Figure12Result) -> str:
+    """Render the ablation as a table."""
+    header = f"{'design':<16}{'runtime':>10}{'energy':>10}"
+    lines = [header, "-" * len(header)]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.design:<16}{cell.relative_runtime:>10.3f}"
+            f"{cell.relative_energy:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 13: HATRIC versus UNITD++.
+
+UNITD++ is UNITD upgraded with virtualization support and coherence
+directory integration.  Both hardware mechanisms beat software
+coherence, but HATRIC adds another 5-10% of performance by also keeping
+MMU caches and nTLBs coherent (UNITD++ must flush them on every remap),
+and it is more energy-efficient because its narrow co-tags replace
+UNITD's reverse-lookup CAM.  Runtime and energy are normalized to the
+system without die-stacked DRAM, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    no_hbm_config,
+    run_configuration,
+)
+
+FIGURE13_SERIES = ("sw", "unitd++", "hatric")
+_PROTOCOL_OF_SERIES = {"sw": "software", "unitd++": "unitd", "hatric": "hatric"}
+
+
+@dataclass
+class Figure13Cell:
+    """One workload under one mechanism."""
+
+    workload: str
+    series: str
+    normalized_runtime: float
+    normalized_energy: float
+
+
+@dataclass
+class Figure13Result:
+    """All bars of Figure 13."""
+
+    cells: list[Figure13Cell] = field(default_factory=list)
+
+    def value(self, workload: str, series: str) -> Figure13Cell:
+        """Return the cell for one workload/mechanism pair."""
+        for cell in self.cells:
+            if cell.workload == workload and cell.series == series:
+                return cell
+        raise KeyError((workload, series))
+
+
+def run_figure13(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure13Result:
+    """Regenerate Figure 13."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure13Result()
+    for name in workloads:
+        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
+        for series in FIGURE13_SERIES:
+            run = run_configuration(
+                baseline_config(num_cpus, protocol=_PROTOCOL_OF_SERIES[series]),
+                name,
+                scale,
+            )
+            result.cells.append(
+                Figure13Cell(
+                    workload=name,
+                    series=series,
+                    normalized_runtime=run.normalized_runtime(baseline),
+                    normalized_energy=run.normalized_energy(baseline),
+                )
+            )
+    return result
+
+
+def format_figure13(result: Figure13Result) -> str:
+    """Render the comparison as a table."""
+    header = f"{'workload':<14}{'series':>9}{'runtime':>10}{'energy':>10}"
+    lines = [header, "-" * len(header)]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.workload:<14}{cell.series:>9}"
+            f"{cell.normalized_runtime:>10.3f}{cell.normalized_energy:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Figure 2: the cost of software translation coherence (motivation).
+
+For each big-memory workload, four configurations are compared, all
+normalized to ``no-hbm`` (no die-stacked DRAM at all):
+
+* ``no-hbm``     -- only off-chip DRAM;
+* ``inf-hbm``    -- an unachievable upper bound where everything fits in
+                    die-stacked DRAM;
+* ``curr-best``  -- the best paging policy with today's software
+                    translation coherence;
+* ``achievable`` -- the same paging policy with zero-overhead (ideal)
+                    translation coherence.
+
+The paper's headline observations: ``curr-best`` falls far short of
+``achievable``; for data caching and tunkrank it is even *slower* than
+``no-hbm``; with ideal coherence the paging policy lands within a few
+percent of the infinite-capacity bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    inf_hbm_config,
+    no_hbm_config,
+    run_configuration,
+)
+
+#: Bars plotted per workload, in figure order.
+FIGURE2_SERIES = ("no-hbm", "inf-hbm", "curr-best", "achievable")
+
+
+@dataclass
+class Figure2Row:
+    """Normalized runtimes of one workload (no-hbm == 1.0)."""
+
+    workload: str
+    normalized_runtime: dict[str, float] = field(default_factory=dict)
+    evictions: int = 0
+
+    def regression_with_software(self) -> bool:
+        """True when die-stacking plus software coherence loses to no-hbm."""
+        return self.normalized_runtime["curr-best"] > 1.0
+
+
+@dataclass
+class Figure2Result:
+    """All rows of Figure 2."""
+
+    rows: list[Figure2Row] = field(default_factory=list)
+
+    def row(self, workload: str) -> Figure2Row:
+        """Return the row for a workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(workload)
+
+
+def run_figure2(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure2Result:
+    """Regenerate Figure 2."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure2Result()
+    for name in workloads:
+        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
+        infinite = run_configuration(inf_hbm_config(num_cpus), name, scale)
+        current = run_configuration(
+            baseline_config(num_cpus, protocol="software"), name, scale
+        )
+        achievable = run_configuration(
+            baseline_config(num_cpus, protocol="ideal"), name, scale
+        )
+        row = Figure2Row(workload=name)
+        row.normalized_runtime = {
+            "no-hbm": 1.0,
+            "inf-hbm": infinite.normalized_runtime(baseline),
+            "curr-best": current.normalized_runtime(baseline),
+            "achievable": achievable.normalized_runtime(baseline),
+        }
+        row.evictions = current.events.get("paging.evictions", 0)
+        result.rows.append(row)
+    return result
+
+
+def format_figure2(result: Figure2Result) -> str:
+    """Render the figure as the table the paper's bar chart encodes."""
+    header = f"{'workload':<14}" + "".join(f"{s:>12}" for s in FIGURE2_SERIES)
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        cells = "".join(
+            f"{row.normalized_runtime[s]:>12.2f}" for s in FIGURE2_SERIES
+        )
+        lines.append(f"{row.workload:<14}{cells}")
+    return "\n".join(lines)

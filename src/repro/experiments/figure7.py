@@ -1,0 +1,106 @@
+"""Figure 7: runtime versus vCPU count.
+
+For 4, 8 and 16 vCPUs per VM, the best KVM paging policy is run with
+software coherence (``sw``), with HATRIC, and with zero-overhead
+coherence (``ideal``), all normalized to the no-die-stacked-DRAM
+baseline at the same vCPU count.  The paper's findings: HATRIC lands
+within 2-4% of ideal everywhere, and it flattens the curves -- software
+coherence gets *worse* with more vCPUs for IPI-heavy workloads and worse
+with fewer vCPUs for flush-sensitive ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    no_hbm_config,
+    run_configuration,
+)
+
+#: vCPU counts swept by the figure.
+VCPU_COUNTS = (4, 8, 16)
+#: series per vCPU count.
+FIGURE7_SERIES = ("sw", "hatric", "ideal")
+
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric", "ideal": "ideal"}
+
+
+@dataclass
+class Figure7Cell:
+    """One bar: a workload at a vCPU count under one mechanism."""
+
+    workload: str
+    vcpus: int
+    series: str
+    normalized_runtime: float
+
+
+@dataclass
+class Figure7Result:
+    """All bars of Figure 7."""
+
+    cells: list[Figure7Cell] = field(default_factory=list)
+
+    def value(self, workload: str, vcpus: int, series: str) -> float:
+        """Normalized runtime of one bar."""
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.vcpus == vcpus
+                and cell.series == series
+            ):
+                return cell.normalized_runtime
+        raise KeyError((workload, vcpus, series))
+
+
+def run_figure7(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    vcpu_counts: Sequence[int] = VCPU_COUNTS,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure7Result:
+    """Regenerate Figure 7."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure7Result()
+    for name in workloads:
+        for vcpus in vcpu_counts:
+            baseline = run_configuration(no_hbm_config(vcpus), name, scale)
+            for series in FIGURE7_SERIES:
+                run = run_configuration(
+                    baseline_config(vcpus, protocol=_PROTOCOL_OF_SERIES[series]),
+                    name,
+                    scale,
+                )
+                result.cells.append(
+                    Figure7Cell(
+                        workload=name,
+                        vcpus=vcpus,
+                        series=series,
+                        normalized_runtime=run.normalized_runtime(baseline),
+                    )
+                )
+    return result
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Render the figure as a table: one row per workload x vCPU count."""
+    header = f"{'workload':<14}{'vcpus':>6}" + "".join(
+        f"{s:>10}" for s in FIGURE7_SERIES
+    )
+    lines = [header, "-" * len(header)]
+    seen = []
+    for cell in result.cells:
+        key = (cell.workload, cell.vcpus)
+        if key in seen:
+            continue
+        seen.append(key)
+        values = "".join(
+            f"{result.value(cell.workload, cell.vcpus, s):>10.2f}"
+            for s in FIGURE7_SERIES
+        )
+        lines.append(f"{cell.workload:<14}{cell.vcpus:>6}{values}")
+    return "\n".join(lines)

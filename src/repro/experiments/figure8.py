@@ -1,0 +1,117 @@
+"""Figure 8: runtime as a function of the KVM paging policy.
+
+Three policies are swept at 16 vCPUs -- plain LRU, LRU plus the
+migration daemon, and LRU plus daemon plus prefetching -- each under
+software coherence, HATRIC and ideal coherence, normalized to the
+no-die-stacked-DRAM baseline.  The paper's point: under software
+coherence the policy barely matters (coherence dominates), while HATRIC
+both improves every policy and lets the policy improvements show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    no_hbm_config,
+    paging_config,
+    run_configuration,
+)
+
+#: Paging policies in figure order.
+FIGURE8_POLICIES = ("lru", "mig-dmn", "pref")
+FIGURE8_SERIES = ("sw", "hatric", "ideal")
+
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric", "ideal": "ideal"}
+
+
+def _paging_for(policy: str):
+    if policy == "lru":
+        return paging_config(policy="lru", migration_daemon=False, prefetch_pages=0)
+    if policy == "mig-dmn":
+        return paging_config(policy="lru", migration_daemon=True, prefetch_pages=0)
+    if policy == "pref":
+        return paging_config(policy="lru", migration_daemon=True, prefetch_pages=2)
+    raise ValueError(f"unknown figure-8 policy {policy!r}")
+
+
+@dataclass
+class Figure8Cell:
+    """One bar of the figure."""
+
+    workload: str
+    policy: str
+    series: str
+    normalized_runtime: float
+
+
+@dataclass
+class Figure8Result:
+    """All bars of Figure 8."""
+
+    cells: list[Figure8Cell] = field(default_factory=list)
+
+    def value(self, workload: str, policy: str, series: str) -> float:
+        """Normalized runtime of one bar."""
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.policy == policy
+                and cell.series == series
+            ):
+                return cell.normalized_runtime
+        raise KeyError((workload, policy, series))
+
+
+def run_figure8(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    policies: Sequence[str] = FIGURE8_POLICIES,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure8Result:
+    """Regenerate Figure 8."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure8Result()
+    for name in workloads:
+        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
+        for policy in policies:
+            for series in FIGURE8_SERIES:
+                config = baseline_config(
+                    num_cpus,
+                    protocol=_PROTOCOL_OF_SERIES[series],
+                    paging=_paging_for(policy),
+                )
+                run = run_configuration(config, name, scale)
+                result.cells.append(
+                    Figure8Cell(
+                        workload=name,
+                        policy=policy,
+                        series=series,
+                        normalized_runtime=run.normalized_runtime(baseline),
+                    )
+                )
+    return result
+
+
+def format_figure8(result: Figure8Result) -> str:
+    """Render the figure as a table: one row per workload x policy."""
+    header = f"{'workload':<14}{'policy':>9}" + "".join(
+        f"{s:>10}" for s in FIGURE8_SERIES
+    )
+    lines = [header, "-" * len(header)]
+    seen = []
+    for cell in result.cells:
+        key = (cell.workload, cell.policy)
+        if key in seen:
+            continue
+        seen.append(key)
+        values = "".join(
+            f"{result.value(cell.workload, cell.policy, s):>10.2f}"
+            for s in FIGURE8_SERIES
+        )
+        lines.append(f"{cell.workload:<14}{cell.policy:>9}{values}")
+    return "\n".join(lines)

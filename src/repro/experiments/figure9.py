@@ -1,0 +1,108 @@
+"""Figure 9: sensitivity to translation structure sizes.
+
+TLBs, nTLBs and MMU caches are scaled to 1x, 2x and 4x their default
+sizes.  Under software coherence the bigger structures barely help --
+the constant full flushes throw their contents away -- whereas with
+HATRIC (and ideal coherence) the extra capacity is actually usable.
+Everything is normalized to the no-die-stacked-DRAM baseline with 1x
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.runner import (
+    PAPER_WORKLOADS,
+    ExperimentScale,
+    baseline_config,
+    no_hbm_config,
+    run_configuration,
+)
+from repro.sim.config import TranslationConfig
+
+#: Structure size multipliers swept by the figure.
+SIZE_SCALES = (1, 2, 4)
+FIGURE9_SERIES = ("sw", "hatric", "ideal")
+
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric", "ideal": "ideal"}
+
+
+@dataclass
+class Figure9Cell:
+    """One bar: workload x structure scale x mechanism."""
+
+    workload: str
+    size_scale: int
+    series: str
+    normalized_runtime: float
+
+
+@dataclass
+class Figure9Result:
+    """All bars of Figure 9."""
+
+    cells: list[Figure9Cell] = field(default_factory=list)
+
+    def value(self, workload: str, size_scale: int, series: str) -> float:
+        """Normalized runtime of one bar."""
+        for cell in self.cells:
+            if (
+                cell.workload == workload
+                and cell.size_scale == size_scale
+                and cell.series == series
+            ):
+                return cell.normalized_runtime
+        raise KeyError((workload, size_scale, series))
+
+
+def run_figure9(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    size_scales: Sequence[int] = SIZE_SCALES,
+    num_cpus: int = 16,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure9Result:
+    """Regenerate Figure 9."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Figure9Result()
+    for name in workloads:
+        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
+        for size_scale in size_scales:
+            translation = TranslationConfig().scaled(size_scale)
+            for series in FIGURE9_SERIES:
+                config = baseline_config(
+                    num_cpus,
+                    protocol=_PROTOCOL_OF_SERIES[series],
+                    translation=translation,
+                )
+                run = run_configuration(config, name, scale)
+                result.cells.append(
+                    Figure9Cell(
+                        workload=name,
+                        size_scale=size_scale,
+                        series=series,
+                        normalized_runtime=run.normalized_runtime(baseline),
+                    )
+                )
+    return result
+
+
+def format_figure9(result: Figure9Result) -> str:
+    """Render the figure as a table: one row per workload x size scale."""
+    header = f"{'workload':<14}{'size':>6}" + "".join(
+        f"{s:>10}" for s in FIGURE9_SERIES
+    )
+    lines = [header, "-" * len(header)]
+    seen = []
+    for cell in result.cells:
+        key = (cell.workload, cell.size_scale)
+        if key in seen:
+            continue
+        seen.append(key)
+        values = "".join(
+            f"{result.value(cell.workload, cell.size_scale, s):>10.2f}"
+            for s in FIGURE9_SERIES
+        )
+        lines.append(f"{cell.workload:<14}{cell.size_scale:>5}x{values}")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Memory-system substrate: two-tier physical memory and the cache hierarchy."""
+
+from repro.mem.memory import FrameAllocator, MemoryTier, TwoTierMemory
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import CacheHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "FrameAllocator",
+    "MemoryTier",
+    "TwoTierMemory",
+]

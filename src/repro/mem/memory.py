@@ -1,0 +1,178 @@
+"""Two-tier physical memory model.
+
+The paper evaluates a forward-looking system with 2 GB of die-stacked
+DRAM offering 4x the bandwidth of a slower 8 GB off-chip DRAM
+(Section 5.1).  This module models both tiers as pools of 4 KB frames
+plus per-tier access latencies; the hypervisor migrates pages between
+tiers by allocating a frame in the destination tier and copying.
+
+Capacities are configurable so that experiments can run with scaled-down
+footprints (see DESIGN.md, "Simulation model") while preserving the
+paper's capacity ratio between tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.translation.address import PAGE_SHIFT
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a frame allocation cannot be satisfied."""
+
+
+@dataclass
+class FrameAllocator:
+    """Allocates system physical frames from a contiguous range.
+
+    Frames are identified by their system physical page number (SPP).
+    Freed frames are recycled in FIFO order, which keeps allocation
+    deterministic across runs.
+    """
+
+    base_spp: int
+    num_frames: int
+    _next: int = field(init=False, default=0)
+    _free: list[int] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        if self.base_spp < 0:
+            raise ValueError("base_spp must be non-negative")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of frames managed by this allocator."""
+        return self.num_frames
+
+    @property
+    def allocated(self) -> int:
+        """Number of frames currently handed out."""
+        return self._next - len(self._free)
+
+    @property
+    def free_frames(self) -> int:
+        """Number of frames still available."""
+        return self.num_frames - self.allocated
+
+    def contains(self, spp: int) -> bool:
+        """Return True if ``spp`` belongs to this allocator's range."""
+        return self.base_spp <= spp < self.base_spp + self.num_frames
+
+    def allocate(self) -> int:
+        """Allocate one frame and return its SPP.
+
+        Raises :class:`OutOfMemoryError` when the tier is full.
+        """
+        if self._free:
+            return self._free.pop()
+        if self._next >= self.num_frames:
+            raise OutOfMemoryError(
+                f"no free frames (capacity {self.num_frames})"
+            )
+        spp = self.base_spp + self._next
+        self._next += 1
+        return spp
+
+    def free(self, spp: int) -> None:
+        """Return a previously allocated frame to the pool."""
+        if not self.contains(spp):
+            raise ValueError(f"frame {spp:#x} does not belong to this allocator")
+        self._free.append(spp)
+
+    def iter_allocated(self) -> Iterator[int]:
+        """Iterate over SPPs that are currently allocated."""
+        freed = set(self._free)
+        for offset in range(self._next):
+            spp = self.base_spp + offset
+            if spp not in freed:
+                yield spp
+
+
+@dataclass
+class MemoryTier:
+    """One physical memory device (die-stacked or off-chip DRAM)."""
+
+    name: str
+    num_frames: int
+    access_latency: int
+    base_spp: int = 0
+    allocator: FrameAllocator = field(init=False)
+    #: number of cache-line accesses that reached this device (for the
+    #: energy model and bandwidth statistics).
+    accesses: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.allocator = FrameAllocator(self.base_spp, self.num_frames)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity of the tier in bytes."""
+        return self.num_frames << PAGE_SHIFT
+
+    def contains(self, spp: int) -> bool:
+        """Return True if the frame ``spp`` lives in this tier."""
+        return self.allocator.contains(spp)
+
+    def allocate(self) -> int:
+        """Allocate a frame from this tier."""
+        return self.allocator.allocate()
+
+    def free(self, spp: int) -> None:
+        """Free a frame belonging to this tier."""
+        self.allocator.free(spp)
+
+    @property
+    def free_frames(self) -> int:
+        """Number of unallocated frames."""
+        return self.allocator.free_frames
+
+
+class TwoTierMemory:
+    """System physical memory made of a fast and a slow DRAM tier.
+
+    The fast tier models die-stacked (high-bandwidth) DRAM, the slow tier
+    conventional off-chip DRAM.  SPP ranges of the two tiers are disjoint
+    so the tier of any frame can be recovered from its page number alone,
+    mirroring how a real hypervisor would carve the physical address map.
+    """
+
+    def __init__(
+        self,
+        fast_frames: int,
+        slow_frames: int,
+        fast_latency: int = 110,
+        slow_latency: int = 220,
+    ) -> None:
+        if fast_frames <= 0 or slow_frames <= 0:
+            raise ValueError("both tiers need at least one frame")
+        self.fast = MemoryTier(
+            "die-stacked", fast_frames, fast_latency, base_spp=0
+        )
+        self.slow = MemoryTier(
+            "off-chip", slow_frames, slow_latency, base_spp=fast_frames
+        )
+
+    @property
+    def tiers(self) -> tuple[MemoryTier, MemoryTier]:
+        """Return (fast, slow) tiers."""
+        return (self.fast, self.slow)
+
+    def tier_of(self, spp: int) -> MemoryTier:
+        """Return the tier that owns frame ``spp``."""
+        if self.fast.contains(spp):
+            return self.fast
+        if self.slow.contains(spp):
+            return self.slow
+        raise ValueError(f"frame {spp:#x} belongs to no tier")
+
+    def is_fast(self, spp: int) -> bool:
+        """Return True if ``spp`` resides in the die-stacked tier."""
+        return self.fast.contains(spp)
+
+    def latency_of(self, spp: int) -> int:
+        """Return the access latency (cycles) of the tier holding ``spp``."""
+        return self.tier_of(spp).access_latency

@@ -1,0 +1,27 @@
+"""Simulation driver: configuration, cost model, statistics and the main loop."""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoherenceDirectoryConfig,
+    MemoryConfig,
+    PagingConfig,
+    SystemConfig,
+    TranslationConfig,
+)
+from repro.sim.costs import CostModel
+from repro.sim.stats import EventCounter, MachineStats
+from repro.sim.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "CacheConfig",
+    "CoherenceDirectoryConfig",
+    "CostModel",
+    "EventCounter",
+    "MachineStats",
+    "MemoryConfig",
+    "PagingConfig",
+    "SimulationResult",
+    "Simulator",
+    "SystemConfig",
+    "TranslationConfig",
+]

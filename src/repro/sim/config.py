@@ -1,0 +1,182 @@
+"""System configuration dataclasses.
+
+A :class:`SystemConfig` fully describes one simulated machine: CPU
+count, cache and translation structure geometry, the two-tier memory,
+the hypervisor paging policy, the coherence directory organisation and
+the translation coherence protocol under test.
+
+The default sizes are the paper's (Section 5.1) scaled down by a
+constant factor so that synthetic workloads with megabyte-range
+footprints exercise the same capacity ratios the paper exercised with
+gigabyte-range footprints; see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.costs import CostModel
+
+
+#: Data placement modes (Figure 2): everything in slow DRAM, everything
+#: in die-stacked DRAM, or hypervisor-paged between the two.
+PLACEMENT_SLOW_ONLY = "slow-only"
+PLACEMENT_FAST_ONLY = "fast-only"
+PLACEMENT_PAGED = "paged"
+PLACEMENTS = (PLACEMENT_SLOW_ONLY, PLACEMENT_FAST_ONLY, PLACEMENT_PAGED)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of the data cache hierarchy."""
+
+    l1_size: int = 32 * 1024
+    l1_associativity: int = 8
+    l1_latency: int = 4
+    l2_size: int = 256 * 1024
+    l2_associativity: int = 8
+    l2_latency: int = 12
+    llc_size: int = 2 * 1024 * 1024
+    llc_associativity: int = 16
+    llc_latency: int = 38
+
+
+@dataclass(frozen=True)
+class TranslationConfig:
+    """Sizes of the per-CPU translation structures.
+
+    ``size_scale`` multiplies every structure, reproducing the paper's
+    Figure 9 sweep (1x / 2x / 4x).
+    """
+
+    l1_tlb_entries: int = 64
+    l2_tlb_entries: int = 512
+    ntlb_entries: int = 32
+    mmu_cache_entries: int = 48
+    size_scale: int = 1
+    cotag_bytes: int = 2
+
+    def scaled(self, factor: int) -> "TranslationConfig":
+        """Return a copy with ``size_scale`` replaced by ``factor``."""
+        return replace(self, size_scale=factor)
+
+    @property
+    def effective_l1_tlb(self) -> int:
+        """L1 TLB entries after applying the scale factor."""
+        return self.l1_tlb_entries * self.size_scale
+
+    @property
+    def effective_l2_tlb(self) -> int:
+        """L2 TLB entries after applying the scale factor."""
+        return self.l2_tlb_entries * self.size_scale
+
+    @property
+    def effective_ntlb(self) -> int:
+        """nTLB entries after applying the scale factor."""
+        return self.ntlb_entries * self.size_scale
+
+    @property
+    def effective_mmu_cache(self) -> int:
+        """MMU cache entries after applying the scale factor."""
+        return self.mmu_cache_entries * self.size_scale
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Two-tier physical memory geometry.
+
+    The paper models 2 GB of die-stacked DRAM and 8 GB of off-chip DRAM
+    (a 1:4 capacity ratio) with a 4x bandwidth advantage for the stack.
+    The defaults keep the 1:4 ratio at a scaled-down absolute size.
+    """
+
+    fast_frames: int = 2048
+    slow_frames: int = 8192
+    fast_latency: int = 110
+    slow_latency: int = 220
+
+    @property
+    def total_frames(self) -> int:
+        """Total addressable frames across both tiers."""
+        return self.fast_frames + self.slow_frames
+
+
+@dataclass(frozen=True)
+class PagingConfig:
+    """Hypervisor paging policy between the memory tiers.
+
+    Mirrors Section 5.2: an LRU (CLOCK) or FIFO eviction policy,
+    optionally augmented with a migration daemon that keeps a pool of
+    free die-stacked frames, and optional prefetching of adjacent pages
+    on a demand migration.
+    """
+
+    policy: str = "lru"
+    migration_daemon: bool = True
+    daemon_free_target: int = 64
+    prefetch_pages: int = 2
+    #: Fraction of die-stacked frames reserved for the hypervisor /
+    #: page tables rather than guest data.
+    reserved_fast_fraction: float = 0.05
+    #: When positive, one resident page is remapped within die-stacked
+    #: DRAM every ``defrag_interval`` data accesses, modelling memory
+    #: compaction / superpage defragmentation activity (Figure 11 shows
+    #: such workloads still benefit from HATRIC).  0 disables it.
+    defrag_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("lru", "fifo"):
+            raise ValueError(f"unknown paging policy {self.policy!r}")
+        if self.prefetch_pages < 0:
+            raise ValueError("prefetch_pages must be >= 0")
+
+
+@dataclass(frozen=True)
+class CoherenceDirectoryConfig:
+    """Coherence directory organisation (Section 4.2 and Figure 12)."""
+
+    capacity: Optional[int] = 65536
+    lazy_pt_sharer_updates: bool = True
+    fine_grained: bool = False
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of one simulated system."""
+
+    num_cpus: int = 8
+    protocol: str = "hatric"
+    placement: str = PLACEMENT_PAGED
+    hypervisor: str = "kvm"
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    translation: TranslationConfig = field(default_factory=TranslationConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    paging: PagingConfig = field(default_factory=PagingConfig)
+    directory: CoherenceDirectoryConfig = field(
+        default_factory=CoherenceDirectoryConfig
+    )
+    costs: CostModel = field(default_factory=CostModel)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_cpus <= 0:
+            raise ValueError("num_cpus must be positive")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.hypervisor not in ("kvm", "xen"):
+            raise ValueError(f"unknown hypervisor {self.hypervisor!r}")
+
+    def with_protocol(self, protocol: str) -> "SystemConfig":
+        """Return a copy running a different translation coherence protocol."""
+        return replace(self, protocol=protocol)
+
+    def with_placement(self, placement: str) -> "SystemConfig":
+        """Return a copy with a different data placement mode."""
+        return replace(self, placement=placement)
+
+    def replace(self, **changes) -> "SystemConfig":
+        """Return a copy with arbitrary fields replaced."""
+        return replace(self, **changes)

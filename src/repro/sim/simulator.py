@@ -1,0 +1,307 @@
+"""Trace-driven simulator: ties the chip, hypervisor and protocol together.
+
+The simulator executes per-vCPU reference streams in round-robin chunks
+(approximating concurrent execution), charging cycles per CPU.  Each
+reference is translated through the TLBs / MMU cache / nTLB / page
+walker, triggers guest and nested page faults on first touch, flows
+through the hypervisor's paging machinery (which is what generates
+nested page table remaps and hence translation coherence), and finally
+accesses the data through the cache hierarchy.
+
+Runs report a :class:`SimulationResult` carrying cycle counts, event
+counters and the energy breakdown; the experiment modules combine
+results from multiple runs into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.cotag import CoTagScheme
+from repro.core.protocol import TranslationCoherenceProtocol, make_protocol
+from repro.cpu.chip import Chip
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.sim.config import SystemConfig
+from repro.sim.stats import MachineStats
+from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
+from repro.virt.kvm import KvmHypervisor
+from repro.virt.vm import GuestProcess
+from repro.virt.xen import XenHypervisor
+from repro.workloads.base import (
+    MultiprogrammedWorkload,
+    Workload,
+    WorkloadTrace,
+)
+
+#: references processed per vCPU before moving to the next one.
+_INTERLEAVE_CHUNK = 32
+#: maximum fault-retry attempts for one reference.
+_MAX_FAULT_RETRIES = 4
+
+WorkloadLike = Union[Workload, MultiprogrammedWorkload, WorkloadTrace]
+
+
+class TranslationCorrectnessError(AssertionError):
+    """Raised in validation mode when a stale translation is observed."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulation run."""
+
+    config: SystemConfig
+    workload: str
+    stats: MachineStats
+    energy: EnergyBreakdown
+    warmup_references: int = 0
+    per_app_cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def runtime_cycles(self) -> int:
+        """Wall-clock runtime in cycles (busiest CPU)."""
+        return self.stats.runtime_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of cycles across CPUs."""
+        return self.stats.total_cycles
+
+    @property
+    def coherence_cycles(self) -> int:
+        """Cycles attributed to translation coherence."""
+        return self.stats.coherence_cycles
+
+    @property
+    def energy_total(self) -> float:
+        """Total energy in model units."""
+        return self.energy.total
+
+    @property
+    def events(self) -> dict[str, int]:
+        """Event counters as a plain dictionary."""
+        return dict(self.stats.events)
+
+    def normalized_runtime(self, baseline: "SimulationResult") -> float:
+        """Runtime normalized to another run (the paper's main metric)."""
+        if baseline.runtime_cycles == 0:
+            raise ValueError("baseline runtime is zero")
+        return self.runtime_cycles / baseline.runtime_cycles
+
+    def normalized_energy(self, baseline: "SimulationResult") -> float:
+        """Energy normalized to another run."""
+        if baseline.energy_total == 0:
+            raise ValueError("baseline energy is zero")
+        return self.energy_total / baseline.energy_total
+
+
+class Simulator:
+    """Builds one simulated machine and runs workloads on it."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        validate: bool = False,
+        energy_parameters: Optional[EnergyParameters] = None,
+    ) -> None:
+        self.protocol: TranslationCoherenceProtocol = make_protocol(config.protocol)
+        hypervisor_cls = XenHypervisor if config.hypervisor == "xen" else KvmHypervisor
+        config = config.replace(costs=hypervisor_cls.adjust_costs(config.costs))
+        self.config = config
+        self.validate = validate
+
+        cotag_scheme = (
+            CoTagScheme(config.translation.cotag_bytes)
+            if self.protocol.uses_cotags
+            else None
+        )
+        self.stats = MachineStats(config.num_cpus)
+        self.chip = Chip(
+            config,
+            self.stats,
+            cotag_scheme=cotag_scheme,
+            track_translation_sharers=self.protocol.tracks_translation_sharers,
+        )
+        self.protocol.bind(self.chip, self.stats, config.costs)
+        self.hypervisor = hypervisor_cls(
+            self.chip, config, self.protocol, self.stats
+        )
+        self.energy_model = EnergyModel(
+            params=energy_parameters,
+            cotag_bytes=(
+                config.translation.cotag_bytes if self.protocol.uses_cotags else 0
+            ),
+            fine_grained_directory=config.directory.fine_grained,
+        )
+
+    # ------------------------------------------------------------------
+    # running workloads
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: WorkloadLike,
+        warmup_fraction: float = 0.2,
+        refs_total: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run a workload to completion and return its measurements.
+
+        The first ``warmup_fraction`` of each stream is executed with
+        statistics discarded afterwards, so cold-start effects (initial
+        population of die-stacked DRAM) do not dominate the short
+        synthetic traces the way they never would in the paper's
+        50-billion-reference traces.
+        """
+        trace = self._resolve_trace(workload, refs_total)
+        if trace.num_vcpus > self.config.num_cpus:
+            raise ValueError(
+                f"trace needs {trace.num_vcpus} vCPUs but the system has "
+                f"{self.config.num_cpus} CPUs"
+            )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+
+        vm = self.hypervisor.create_vm(vcpu_pcpus=list(range(trace.num_vcpus)))
+        processes = [vm.create_process() for _ in range(trace.num_processes)]
+        contexts = [processes[p] for p in trace.process_of_vcpu]
+
+        warmup_refs = 0
+        if warmup_fraction > 0.0:
+            warmup_refs = self._execute(trace, contexts, fraction=warmup_fraction)
+            self._reset_statistics()
+        self._execute(trace, contexts, fraction=1.0, skip_fraction=warmup_fraction)
+
+        energy = self.energy_model.compute(self.chip, self.stats)
+        per_app = self._per_app_cycles(trace)
+        return SimulationResult(
+            config=self.config,
+            workload=trace.name,
+            stats=self.stats,
+            energy=energy,
+            warmup_references=warmup_refs,
+            per_app_cycles=per_app,
+        )
+
+    # ------------------------------------------------------------------
+    # execution internals
+    # ------------------------------------------------------------------
+    def _resolve_trace(
+        self, workload: WorkloadLike, refs_total: Optional[int]
+    ) -> WorkloadTrace:
+        if isinstance(workload, WorkloadTrace):
+            return workload
+        if isinstance(workload, MultiprogrammedWorkload):
+            return workload.generate(
+                num_vcpus=min(self.config.num_cpus, len(workload.specs)),
+                seed=self.config.seed,
+                refs_total=refs_total,
+            )
+        return workload.generate(
+            num_vcpus=self.config.num_cpus,
+            seed=self.config.seed,
+            refs_total=refs_total,
+        )
+
+    def _execute(
+        self,
+        trace: WorkloadTrace,
+        contexts: list[GuestProcess],
+        fraction: float,
+        skip_fraction: float = 0.0,
+    ) -> int:
+        """Execute streams between ``skip_fraction`` and ``fraction``."""
+        starts = [int(len(s) * skip_fraction) for s in trace.streams]
+        ends = [int(len(s) * fraction) for s in trace.streams]
+        positions = list(starts)
+        executed = 0
+        active = True
+        while active:
+            active = False
+            for cpu in range(trace.num_vcpus):
+                pos = positions[cpu]
+                end = min(pos + _INTERLEAVE_CHUNK, ends[cpu])
+                if pos >= end:
+                    continue
+                active = True
+                stream = trace.streams[cpu]
+                writes = trace.writes[cpu]
+                ctx = contexts[cpu]
+                for index in range(pos, end):
+                    self._execute_reference(
+                        cpu, ctx, int(stream[index]), bool(writes[index])
+                    )
+                    executed += 1
+                positions[cpu] = end
+        return executed
+
+    def _execute_reference(
+        self, cpu: int, ctx: GuestProcess, gva: int, is_write: bool
+    ) -> None:
+        core = self.chip.core(cpu)
+        stats = self.stats
+        stats.cpus[cpu].instructions += 1
+        gvp = gva >> PAGE_SHIFT
+        offset = gva & (PAGE_SIZE - 1)
+
+        outcome = None
+        for _ in range(_MAX_FAULT_RETRIES):
+            outcome = core.translate(ctx, gvp, is_write)
+            stats.charge_cpu(cpu, outcome.cycles)
+            if outcome.fault is None:
+                break
+            if outcome.fault == "guest":
+                ctx.ensure_guest_mapping(gvp)
+                stats.charge_cpu(cpu, self.config.costs.page_fault_overhead // 2)
+                stats.count("guest.minor_faults")
+            elif outcome.fault == "nested":
+                gpp = ctx.gpp_of(gvp)
+                if gpp is None:
+                    ctx.ensure_guest_mapping(gvp)
+                    gpp = ctx.gpp_of(gvp)
+                cycles = self.hypervisor.handle_nested_fault(ctx, gpp, cpu)
+                stats.charge_cpu(cpu, cycles)
+        else:
+            raise RuntimeError(
+                f"reference to gva {gva:#x} did not resolve after "
+                f"{_MAX_FAULT_RETRIES} fault retries"
+            )
+
+        if self.validate:
+            self._check_translation(ctx, gvp, outcome.spp)
+
+        defrag_cycles = self.hypervisor.on_data_access(outcome.spp, cpu)
+        if defrag_cycles:
+            stats.count("paging.defrag_access_stalls")
+        spa = (outcome.spp << PAGE_SHIFT) | offset
+        stats.charge_cpu(cpu, core.access_data(spa, is_write))
+
+    def _check_translation(self, ctx: GuestProcess, gvp: int, spp: int) -> None:
+        """Cross-check a translation against the page tables (validation mode)."""
+        guest_entry = ctx.guest_page_table.lookup(gvp)
+        if guest_entry is None:
+            raise TranslationCorrectnessError(
+                f"gvp {gvp:#x} translated but has no guest mapping"
+            )
+        nested_entry = ctx.nested_page_table.lookup(guest_entry.pfn)
+        if nested_entry is None:
+            raise TranslationCorrectnessError(
+                f"gpp {guest_entry.pfn:#x} translated but has no nested mapping"
+            )
+        if nested_entry.pfn != spp:
+            raise TranslationCorrectnessError(
+                f"stale translation used for gvp {gvp:#x}: got spp {spp:#x}, "
+                f"page tables say {nested_entry.pfn:#x}"
+            )
+
+    def _reset_statistics(self) -> None:
+        """Discard statistics accumulated so far (end of warmup)."""
+        self.stats.reset()
+        self.chip.reset_statistics()
+
+    def _per_app_cycles(self, trace: WorkloadTrace) -> dict[str, int]:
+        """Per-application busy cycles for multiprogrammed traces."""
+        if trace.num_processes <= 1:
+            return {}
+        per_app: dict[str, int] = {}
+        for cpu in range(trace.num_vcpus):
+            per_app[f"app{cpu:02d}"] = self.stats.cpus[cpu].busy_cycles
+        return per_app

@@ -1,0 +1,117 @@
+"""Statistics collection for simulation runs.
+
+The simulator and its components record events into a
+:class:`MachineStats` object; experiments then derive the paper's
+metrics (normalized runtime, weighted runtime, energy) from it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+class EventCounter(Counter):
+    """A :class:`collections.Counter` with a convenience ``add`` method."""
+
+    def add(self, event: str, count: int = 1) -> None:
+        """Increment ``event`` by ``count``."""
+        self[event] += count
+
+
+@dataclass
+class CpuStats:
+    """Per-CPU cycle accounting.
+
+    Attributes:
+        busy_cycles: cycles spent executing the workload (translation,
+            data access, and any coherence work charged to this CPU).
+        coherence_cycles: the subset of ``busy_cycles`` attributable to
+            translation coherence (VM exits, flushes, invalidations).
+        instructions: references retired (one per trace record).
+    """
+
+    busy_cycles: int = 0
+    coherence_cycles: int = 0
+    instructions: int = 0
+
+    def charge(self, cycles: int, coherence: bool = False) -> None:
+        """Add ``cycles`` of work, optionally tagged as coherence overhead."""
+        self.busy_cycles += cycles
+        if coherence:
+            self.coherence_cycles += cycles
+
+
+@dataclass
+class MachineStats:
+    """Aggregated statistics for one simulation run."""
+
+    num_cpus: int
+    cpus: list[CpuStats] = field(init=False)
+    events: EventCounter = field(default_factory=EventCounter)
+    #: cycles charged to background activity (migration daemon) rather
+    #: than any CPU's critical path.
+    background_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        self.cpus = [CpuStats() for _ in range(self.num_cpus)]
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter (used when discarding warmup statistics)."""
+        self.cpus = [CpuStats() for _ in range(self.num_cpus)]
+        self.events = EventCounter()
+        self.background_cycles = 0
+
+    def charge_cpu(self, cpu: int, cycles: int, coherence: bool = False) -> None:
+        """Charge cycles to one CPU's critical path."""
+        self.cpus[cpu].charge(cycles, coherence)
+
+    def charge_background(self, cycles: int) -> None:
+        """Charge cycles to background (off critical path) work."""
+        self.background_cycles += cycles
+
+    def count(self, event: str, n: int = 1) -> None:
+        """Count an event occurrence."""
+        self.events.add(event, n)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def runtime_cycles(self) -> int:
+        """Wall-clock runtime: the busiest CPU defines the critical path."""
+        return max((c.busy_cycles for c in self.cpus), default=0)
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of cycles across all CPUs (for energy accounting)."""
+        return sum(c.busy_cycles for c in self.cpus)
+
+    @property
+    def coherence_cycles(self) -> int:
+        """Total cycles attributed to translation coherence."""
+        return sum(c.coherence_cycles for c in self.cpus)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total references retired across CPUs."""
+        return sum(c.instructions for c in self.cpus)
+
+    def per_cpu_runtime(self) -> list[int]:
+        """Return each CPU's busy cycle count."""
+        return [c.busy_cycles for c in self.cpus]
+
+    def merge_events(self, other: Mapping[str, int]) -> None:
+        """Fold an external event mapping into this object's counters."""
+        for key, value in other.items():
+            self.events.add(key, value)
+
+    def summary(self, keys: Iterable[str] | None = None) -> dict[str, int]:
+        """Return a plain-dict snapshot of selected (or all) event counters."""
+        if keys is None:
+            return dict(self.events)
+        return {key: self.events.get(key, 0) for key in keys}

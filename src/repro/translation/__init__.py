@@ -1,0 +1,58 @@
+"""Address translation substrate.
+
+Implements x86-64-style two-dimensional address translation for
+virtualized systems: guest and nested 4-level radix page tables, the
+hardware two-dimensional page table walker, and the per-CPU translation
+caching structures (TLBs, MMU/paging-structure caches, nested TLBs).
+"""
+
+from repro.translation.address import (
+    CACHE_LINE_SIZE,
+    ENTRIES_PER_LINE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_SIZE,
+    cache_line_of,
+    gpp_of,
+    gvp_of,
+    page_offset,
+    spp_of,
+)
+from repro.translation.page_table import (
+    GuestPageTable,
+    NestedPageTable,
+    PageTableEntry,
+    RadixPageTable,
+)
+from repro.translation.structures import (
+    MMUCache,
+    NestedTLB,
+    TranslationEntry,
+    TranslationStructure,
+    TLB,
+)
+from repro.translation.walker import PageTableWalker, WalkResult
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "ENTRIES_PER_LINE",
+    "GuestPageTable",
+    "MMUCache",
+    "NestedPageTable",
+    "NestedTLB",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PTE_SIZE",
+    "PageTableEntry",
+    "PageTableWalker",
+    "RadixPageTable",
+    "TLB",
+    "TranslationEntry",
+    "TranslationStructure",
+    "WalkResult",
+    "cache_line_of",
+    "gpp_of",
+    "gvp_of",
+    "page_offset",
+    "spp_of",
+]

@@ -1,0 +1,88 @@
+"""Address-space constants and helpers.
+
+The simulator distinguishes three address spaces, following the paper's
+terminology (Section 2.1):
+
+* **GVA / GVP** -- guest virtual address / guest virtual page, the
+  addresses a process inside the guest VM issues;
+* **GPA / GPP** -- guest physical address / guest physical page, what the
+  guest OS believes is physical memory;
+* **SPA / SPP** -- system physical address / system physical page, the
+  real machine addresses managed by the hypervisor.
+
+The guest page table maps GVP -> GPP; the nested page table maps
+GPP -> SPP.  All page tables themselves live in system physical memory,
+and their entries occupy system physical addresses -- those addresses are
+what HATRIC's co-tags store.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+#: Size in bytes of one page table entry (x86-64).
+PTE_SIZE = 8
+
+#: Bytes per cache line; 8 PTEs fit in one line, which is the coherence
+#: granularity HATRIC operates at (Section 4.2, "Coherence granularity").
+CACHE_LINE_SIZE = 64
+ENTRIES_PER_LINE = CACHE_LINE_SIZE // PTE_SIZE
+
+#: Number of PTEs per 4 KB page-table page and the per-level index width.
+ENTRIES_PER_TABLE = PAGE_SIZE // PTE_SIZE
+LEVEL_INDEX_BITS = 9
+
+#: Radix page tables have four levels; level 4 is the root, level 1 the leaf.
+PAGE_TABLE_LEVELS = 4
+
+
+def gvp_of(gva: int) -> int:
+    """Return the guest virtual page number of a guest virtual address."""
+    return gva >> PAGE_SHIFT
+
+
+def gpp_of(gpa: int) -> int:
+    """Return the guest physical page number of a guest physical address."""
+    return gpa >> PAGE_SHIFT
+
+
+def spp_of(spa: int) -> int:
+    """Return the system physical page number of a system physical address."""
+    return spa >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Return the byte offset of ``addr`` within its page."""
+    return addr & (PAGE_SIZE - 1)
+
+
+def cache_line_of(addr: int) -> int:
+    """Return the cache-line address (line-aligned) containing ``addr``."""
+    return addr & ~(CACHE_LINE_SIZE - 1)
+
+
+def level_index(vpn: int, level: int) -> int:
+    """Return the radix-tree index used at ``level`` for a page number.
+
+    ``level`` follows the paper's numbering: 4 is the root, 1 is the leaf.
+    The virtual page number is split into four 9-bit fields; the most
+    significant field indexes the root table.
+    """
+    if not 1 <= level <= PAGE_TABLE_LEVELS:
+        raise ValueError(f"page table level must be in 1..4, got {level}")
+    shift = (level - 1) * LEVEL_INDEX_BITS
+    return (vpn >> shift) & (ENTRIES_PER_TABLE - 1)
+
+
+def vpn_prefix(vpn: int, level: int) -> int:
+    """Return the part of ``vpn`` that selects the table at ``level``.
+
+    Paging-structure (MMU) caches are tagged with this prefix: an entry
+    for level *L* caches the location of the level *L-1* table reached
+    after consuming the indexes of levels 4..L.
+    """
+    if not 1 <= level <= PAGE_TABLE_LEVELS:
+        raise ValueError(f"page table level must be in 1..4, got {level}")
+    shift = (level - 1) * LEVEL_INDEX_BITS
+    return vpn >> shift

@@ -1,0 +1,208 @@
+"""Four-level radix page tables (guest and nested).
+
+Both dimensions of translation use x86-64-style 4-level forward-mapped
+radix trees (Section 2.1 of the paper).  The *guest* page table maps
+guest virtual pages (GVPs) to guest physical pages (GPPs) and its table
+pages live in guest physical memory; the *nested* page table maps GPPs
+to system physical pages (SPPs) and its table pages live directly in
+system physical memory.
+
+Every page table entry has a well-defined address in the address space
+its table lives in.  Those addresses matter: HATRIC's co-tags store (a
+hash of) the system physical address of the nested page table entry a
+cached translation was read from, and the coherence directory tracks the
+cache lines that hold page table entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.translation.address import (
+    PAGE_SHIFT,
+    PAGE_TABLE_LEVELS,
+    PTE_SIZE,
+    level_index,
+)
+
+
+@dataclass
+class PageTableEntry:
+    """One page table entry.
+
+    Attributes:
+        vpn: page number (in the table's input space) this entry translates.
+        pfn: page frame number the entry points at -- either the next-level
+            table page or, for a leaf, the translated data page.
+        address: byte address of this entry in the address space where the
+            table resides (GPA for guest tables, SPA for nested tables).
+        level: table level the entry belongs to (4 = root, 1 = leaf).
+        accessed: x86 accessed bit, set by the page table walker.
+        dirty: x86 dirty bit, set on write accesses through the entry.
+    """
+
+    vpn: int
+    pfn: int
+    address: int
+    level: int
+    accessed: bool = False
+    dirty: bool = False
+
+
+@dataclass
+class _Node:
+    """Internal radix-tree node: one table page."""
+
+    level: int
+    page_number: int
+    entries: dict[int, PageTableEntry] = field(default_factory=dict)
+    children: dict[int, "_Node"] = field(default_factory=dict)
+
+    def entry_address(self, index: int) -> int:
+        """Byte address of the entry at ``index`` within this table page."""
+        return (self.page_number << PAGE_SHIFT) | (index * PTE_SIZE)
+
+
+class RadixPageTable:
+    """A generic 4-level radix page table.
+
+    Table pages are allocated lazily through ``allocate_table_page``, a
+    callable returning a fresh page frame number in whichever address
+    space the table lives in.  The class is agnostic to that space; the
+    :class:`GuestPageTable` and :class:`NestedPageTable` subclasses fix
+    the semantics.
+    """
+
+    def __init__(self, allocate_table_page: Callable[[], int]) -> None:
+        self._allocate_table_page = allocate_table_page
+        self.root = _Node(
+            level=PAGE_TABLE_LEVELS, page_number=self._allocate_table_page()
+        )
+        self._mapped_pages = 0
+        #: table pages allocated, including the root.
+        self.table_pages = 1
+
+    # ------------------------------------------------------------------
+    # mapping operations
+    # ------------------------------------------------------------------
+    def map(self, vpn: int, pfn: int) -> PageTableEntry:
+        """Map ``vpn`` to ``pfn``, creating intermediate tables as needed.
+
+        Returns the leaf entry.  Remapping an existing ``vpn`` is an
+        error; use :meth:`remap` for that.
+        """
+        node = self.root
+        for level in range(PAGE_TABLE_LEVELS, 1, -1):
+            index = level_index(vpn, level)
+            child = node.children.get(index)
+            if child is None:
+                child = _Node(
+                    level=level - 1, page_number=self._allocate_table_page()
+                )
+                node.children[index] = child
+                self.table_pages += 1
+                node.entries[index] = PageTableEntry(
+                    vpn=vpn,
+                    pfn=child.page_number,
+                    address=node.entry_address(index),
+                    level=level,
+                )
+            node = child
+        index = level_index(vpn, 1)
+        if index in node.entries:
+            raise ValueError(f"page {vpn:#x} is already mapped")
+        entry = PageTableEntry(
+            vpn=vpn, pfn=pfn, address=node.entry_address(index), level=1
+        )
+        node.entries[index] = entry
+        self._mapped_pages += 1
+        return entry
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        """Return the leaf entry for ``vpn`` or None if unmapped."""
+        node = self.root
+        for level in range(PAGE_TABLE_LEVELS, 1, -1):
+            node = node.children.get(level_index(vpn, level))
+            if node is None:
+                return None
+        return node.entries.get(level_index(vpn, 1))
+
+    def remap(self, vpn: int, new_pfn: int) -> PageTableEntry:
+        """Point an existing mapping at a new frame and return its entry.
+
+        This is the operation a hypervisor performs when it migrates a
+        page between memory tiers: the entry (and hence its address,
+        which co-tags refer to) stays put, only the target frame changes.
+        """
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise KeyError(f"page {vpn:#x} is not mapped")
+        entry.pfn = new_pfn
+        entry.accessed = False
+        entry.dirty = False
+        return entry
+
+    def unmap(self, vpn: int) -> PageTableEntry:
+        """Remove the mapping for ``vpn`` and return the removed entry."""
+        node = self.root
+        for level in range(PAGE_TABLE_LEVELS, 1, -1):
+            node = node.children.get(level_index(vpn, level))
+            if node is None:
+                raise KeyError(f"page {vpn:#x} is not mapped")
+        index = level_index(vpn, 1)
+        entry = node.entries.pop(index, None)
+        if entry is None:
+            raise KeyError(f"page {vpn:#x} is not mapped")
+        self._mapped_pages -= 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # walking
+    # ------------------------------------------------------------------
+    def walk_path(self, vpn: int) -> list[PageTableEntry]:
+        """Return the entries visited walking ``vpn`` from root to leaf.
+
+        The list is ordered level 4 .. level 1 and contains only the
+        entries that exist; a partial list means the walk faulted at the
+        level following the last returned entry.
+        """
+        path: list[PageTableEntry] = []
+        node = self.root
+        for level in range(PAGE_TABLE_LEVELS, 1, -1):
+            index = level_index(vpn, level)
+            entry = node.entries.get(index)
+            if entry is None:
+                return path
+            path.append(entry)
+            node = node.children[index]
+        leaf = node.entries.get(level_index(vpn, 1))
+        if leaf is not None:
+            path.append(leaf)
+        return path
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def mapped_pages(self) -> int:
+        """Number of leaf mappings currently installed."""
+        return self._mapped_pages
+
+    def iter_leaf_entries(self) -> Iterator[PageTableEntry]:
+        """Iterate over all leaf entries (order unspecified)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.level == 1:
+                yield from node.entries.values()
+            else:
+                stack.extend(node.children.values())
+
+
+class GuestPageTable(RadixPageTable):
+    """Guest page table: GVP -> GPP, table pages in guest physical memory."""
+
+
+class NestedPageTable(RadixPageTable):
+    """Nested page table: GPP -> SPP, table pages in system physical memory."""

@@ -1,0 +1,224 @@
+"""Per-CPU translation caching structures: TLBs, MMU caches, nested TLBs.
+
+All three structures cache information derived from the page tables:
+
+* the **TLB** caches requested GVP -> SPP translations, short-circuiting
+  the whole two-dimensional walk;
+* the **MMU cache** (modelled after Intel's paging-structure cache)
+  caches GVP-prefix -> guest-page-table-location mappings, letting the
+  walker skip the upper levels of the guest dimension;
+* the **nested TLB (nTLB)** caches GPP -> SPP translations, letting the
+  walker skip individual nested walks.
+
+Because these structures are read-only caches of page table state, their
+entries only need two coherence states -- Shared and Invalid -- realised
+here as presence in / absence from the structure (Section 4.2).  Every
+entry optionally carries a *co-tag* and the system-physical cache-line
+address of the nested page table entry it was filled from; HATRIC's
+coherence messages invalidate by co-tag, while the ideal protocol
+invalidates by exact line address.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+
+@dataclass
+class TranslationEntry:
+    """One cached translation.
+
+    Attributes:
+        key: the lookup key (structure specific, e.g. ``(vm_id, gvp)``).
+        value: the cached datum (an SPP, or a table-page SPP for the MMU
+            cache).
+        cotag: co-tag derived from the source nested page table entry's
+            system physical address, or None when the owning protocol
+            does not use co-tags.
+        pt_line: line-aligned system physical address of the nested page
+            table entry the translation was filled from, or None.
+    """
+
+    key: Hashable
+    value: int
+    cotag: Optional[int] = None
+    pt_line: Optional[int] = None
+
+
+@dataclass
+class TranslationStructureStats:
+    """Event counters for one translation structure."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    flushes: int = 0
+    flushed_entries: int = 0
+    invalidations: int = 0
+    cotag_searches: int = 0
+
+    def hit_rate(self) -> float:
+        """Return the hit rate over all lookups (0.0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class TranslationStructure:
+    """A fully-associative, LRU-replacement translation structure.
+
+    The paper's structures are small (32..512 entries) and set
+    associative; a fully-associative LRU model captures their capacity
+    and flush behaviour, which is what translation coherence interacts
+    with.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, TranslationEntry] = OrderedDict()
+        self.stats = TranslationStructureStats()
+
+    # ------------------------------------------------------------------
+    # lookup / fill
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[TranslationEntry]:
+        """Look up ``key``; a hit refreshes LRU state."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(
+        self,
+        key: Hashable,
+        value: int,
+        cotag: Optional[int] = None,
+        pt_line: Optional[int] = None,
+    ) -> Optional[TranslationEntry]:
+        """Insert (or refresh) a translation; return any evicted entry."""
+        self.stats.insertions += 1
+        if key in self._entries:
+            entry = self._entries[key]
+            entry.value = value
+            entry.cotag = cotag
+            entry.pt_line = pt_line
+            self._entries.move_to_end(key)
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = TranslationEntry(
+            key=key, value=value, cotag=cotag, pt_line=pt_line
+        )
+        return evicted
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_key(self, key: Hashable) -> bool:
+        """Invalidate the entry with exactly this key, if present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_matching_cotag(self, cotag: int) -> int:
+        """Invalidate every entry whose co-tag matches ``cotag``.
+
+        Models the co-tag CAM search HATRIC performs when a coherence
+        invalidation reaches the structure; the search itself is counted
+        so the energy model can charge it.
+        """
+        self.stats.cotag_searches += 1
+        victims = [
+            key
+            for key, entry in self._entries.items()
+            if entry.cotag == cotag
+        ]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def invalidate_matching_line(self, pt_line: int) -> int:
+        """Invalidate entries filled from the page-table line ``pt_line``.
+
+        Used by the ideal protocol (perfect precision) and by tests to
+        cross-check co-tag behaviour against exact tracking.
+        """
+        victims = [
+            key
+            for key, entry in self._entries.items()
+            if entry.pt_line == pt_line
+        ]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def flush(self) -> int:
+        """Invalidate everything; return the number of entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.flushes += 1
+        self.stats.flushed_entries += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def entries(self) -> list[TranslationEntry]:
+        """Return a snapshot of all resident entries (LRU -> MRU order)."""
+        return list(self._entries.values())
+
+
+class TLB(TranslationStructure):
+    """Translation lookaside buffer: ``(vm_id, gvp) -> spp``."""
+
+    @staticmethod
+    def key_for(vm_id: int, gvp: int) -> tuple[int, int]:
+        """Build the lookup key for a guest virtual page of a VM."""
+        return (vm_id, gvp)
+
+
+class NestedTLB(TranslationStructure):
+    """Nested TLB: ``(vm_id, gpp) -> spp`` (Section 2.1, structure c)."""
+
+    @staticmethod
+    def key_for(vm_id: int, gpp: int) -> tuple[int, int]:
+        """Build the lookup key for a guest physical page of a VM."""
+        return (vm_id, gpp)
+
+
+class MMUCache(TranslationStructure):
+    """Paging-structure cache: ``(vm_id, level, gvp_prefix) -> table spp``.
+
+    An entry at ``level`` caches the system physical page of the guest
+    page table page that the walker would reach *after* consuming the
+    guest-virtual index bits of levels 4..level, letting it resume the
+    guest walk there (Section 2.1, structure b).
+    """
+
+    @staticmethod
+    def key_for(vm_id: int, level: int, gvp_prefix: int) -> tuple[int, int, int]:
+        """Build the lookup key for a partial guest walk."""
+        return (vm_id, level, gvp_prefix)

@@ -1,0 +1,343 @@
+"""Hardware two-dimensional page table walker.
+
+On a TLB miss the walker performs the nested walk of Figure 1 of the
+paper: up to 24 memory references (five 4-step nested walks plus four
+guest page table reads), short-circuited by the MMU (paging-structure)
+cache and the nested TLB.  Every page-table reference is charged through
+the CPU's cache hierarchy, so walk latency depends on where the page
+table lines currently live -- which is exactly why full translation
+structure flushes are so expensive on virtualized systems.
+
+The walker is also the agent that fills translation structures and sets
+their co-tags (Section 4.1, "Who sets co-tags?"), and that informs the
+coherence directory when a page-table cache line is cached in a
+translation structure for the first time (Section 4.2, "Directory entry
+changes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from repro.translation.address import (
+    PAGE_SHIFT,
+    cache_line_of,
+    vpn_prefix,
+)
+from repro.translation.page_table import GuestPageTable, NestedPageTable, PageTableEntry
+from repro.translation.structures import MMUCache, NestedTLB, TLB
+from repro.coherence.directory import SharerKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.cotag import CoTagScheme
+    from repro.mem.hierarchy import CacheHierarchy
+
+
+class AddressSpaceContext(Protocol):
+    """What the walker needs to know about the VM it is walking for."""
+
+    vm_id: int
+    guest_page_table: GuestPageTable
+    nested_page_table: NestedPageTable
+    guest_root_gpp: int
+
+
+#: Callback invoked when the walker caches a translation derived from a
+#: page-table cache line: (structure kind, line SPA, is_nested, is_guest).
+FillListener = Callable[[SharerKind, int, bool, bool], None]
+
+
+@dataclass
+class WalkStats:
+    """Counters describing walker activity on one CPU."""
+
+    walks: int = 0
+    faults: int = 0
+    memory_references: int = 0
+    cycles: int = 0
+    nested_walks: int = 0
+    ntlb_hits: int = 0
+    mmu_cache_hits: int = 0
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one two-dimensional page table walk.
+
+    Attributes:
+        spp: translated system physical page (valid unless ``fault``).
+        gpp: guest physical page of the data page.
+        cycles: latency charged for the walk.
+        memory_references: page-table references issued.
+        fault: None on success, ``"guest"`` or ``"nested"`` when the
+            corresponding page table had no mapping.
+        nested_leaf_address: system physical address of the nested L1
+            entry mapping the data page (what co-tags are derived from).
+        cotag: co-tag value stored with the TLB fill (None without a
+            co-tag scheme).
+    """
+
+    spp: int = 0
+    gpp: int = 0
+    cycles: int = 0
+    memory_references: int = 0
+    fault: Optional[str] = None
+    nested_leaf_address: Optional[int] = None
+    cotag: Optional[int] = None
+
+
+@dataclass
+class _NestedTranslation:
+    """Internal result of translating one GPP through the nested dimension."""
+
+    spp: int
+    cycles: int
+    references: int
+    leaf: Optional[PageTableEntry]
+    fault: bool = False
+
+
+class PageTableWalker:
+    """Per-CPU hardware page table walker."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        tlb_l1: TLB,
+        tlb_l2: TLB,
+        mmu_cache: MMUCache,
+        ntlb: NestedTLB,
+        cotag_scheme: Optional[CoTagScheme] = None,
+        fill_listener: Optional[FillListener] = None,
+        l2_tlb_latency: int = 7,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.tlb_l1 = tlb_l1
+        self.tlb_l2 = tlb_l2
+        self.mmu_cache = mmu_cache
+        self.ntlb = ntlb
+        self.cotag_scheme = cotag_scheme
+        self.fill_listener = fill_listener
+        self.l2_tlb_latency = l2_tlb_latency
+        self.stats = WalkStats()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def walk(
+        self, ctx: AddressSpaceContext, gvp: int, is_write: bool = False
+    ) -> WalkResult:
+        """Walk the two-dimensional page tables for ``gvp``.
+
+        Fills the TLBs, MMU cache and nTLB on success.  The caller is
+        responsible for having checked the TLBs first.
+        """
+        self.stats.walks += 1
+        result = WalkResult()
+
+        # 1. Find the deepest guest page table location we already know.
+        start_level, table_spp, cycles = self._consult_mmu_cache(ctx, gvp)
+        result.cycles += cycles
+        if table_spp is None:
+            nested = self._translate_gpp(ctx, ctx.guest_root_gpp)
+            result.cycles += nested.cycles
+            result.memory_references += nested.references
+            if nested.fault:
+                return self._fault(result, "nested")
+            table_spp = nested.spp
+
+        # 2. Walk the guest dimension from start_level down to 1.
+        guest_path = ctx.guest_page_table.walk_path(gvp)
+        if len(guest_path) < 4:
+            return self._fault(result, "guest")
+        for level in range(start_level, 0, -1):
+            guest_entry = guest_path[4 - level]
+            entry_spa = self._guest_entry_spa(table_spp, guest_entry.address)
+            access = self.hierarchy.access(
+                entry_spa, is_write=False, is_page_table=True
+            )
+            result.cycles += access.cycles
+            result.memory_references += 1
+            self._note_accessed(ctx, guest_entry, entry_spa, guest=True)
+            next_gpp = guest_entry.pfn
+
+            nested = self._translate_gpp(ctx, next_gpp)
+            result.cycles += nested.cycles
+            result.memory_references += nested.references
+            if nested.fault:
+                return self._fault(result, "nested")
+
+            if level > 1:
+                # next_gpp is the guest table page for level-1; remember
+                # where it lives so future walks can skip ahead.
+                table_spp = nested.spp
+                self._fill_mmu_cache(ctx, gvp, level - 1, nested)
+            else:
+                # next_gpp is the data page itself.
+                result.gpp = next_gpp
+                result.spp = nested.spp
+                if is_write and nested.leaf is not None:
+                    nested.leaf.dirty = True
+                if is_write:
+                    guest_entry.dirty = True
+                result.nested_leaf_address = (
+                    nested.leaf.address if nested.leaf is not None else None
+                )
+                self._fill_tlbs(ctx, gvp, result)
+
+        self.stats.cycles += result.cycles
+        self.stats.memory_references += result.memory_references
+        return result
+
+    def translate_gpp(self, ctx: AddressSpaceContext, gpp: int) -> WalkResult:
+        """Translate a lone guest physical page (used by the hypervisor model)."""
+        nested = self._translate_gpp(ctx, gpp)
+        result = WalkResult(
+            spp=nested.spp,
+            gpp=gpp,
+            cycles=nested.cycles,
+            memory_references=nested.references,
+            fault="nested" if nested.fault else None,
+            nested_leaf_address=nested.leaf.address if nested.leaf else None,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # guest dimension helpers
+    # ------------------------------------------------------------------
+    def _consult_mmu_cache(
+        self, ctx: AddressSpaceContext, gvp: int
+    ) -> tuple[int, Optional[int], int]:
+        """Return (start_level, table_spp or None, cycles).
+
+        ``start_level`` is the guest level whose table the walker will
+        read first; ``table_spp`` is that table's system physical page
+        when the MMU cache knows it (most specific entry wins).
+
+        An entry describing the table at level *L* is tagged with the
+        guest-virtual prefix that selects that table, i.e. the bits above
+        level *L*'s index field (``vpn_prefix(gvp, L + 1)``), exactly
+        like Intel's paging-structure caches.
+        """
+        for level in (1, 2, 3):
+            key = MMUCache.key_for(ctx.vm_id, level, vpn_prefix(gvp, level + 1))
+            entry = self.mmu_cache.lookup(key)
+            if entry is not None:
+                self.stats.mmu_cache_hits += 1
+                return level, entry.value, 1
+        return 4, None, 1
+
+    def _guest_entry_spa(self, table_spp: int, entry_gpa: int) -> int:
+        """System physical address of a guest PTE given its table's SPP."""
+        offset = entry_gpa & ((1 << PAGE_SHIFT) - 1)
+        return (table_spp << PAGE_SHIFT) | offset
+
+    def _fill_mmu_cache(
+        self,
+        ctx: AddressSpaceContext,
+        gvp: int,
+        level: int,
+        nested: _NestedTranslation,
+    ) -> None:
+        """Cache the location of the guest table page for ``level``."""
+        cotag = None
+        pt_line = None
+        if nested.leaf is not None:
+            pt_line = cache_line_of(nested.leaf.address)
+            if self.cotag_scheme is not None:
+                cotag = self.cotag_scheme.cotag_of(nested.leaf.address)
+        key = MMUCache.key_for(ctx.vm_id, level, vpn_prefix(gvp, level + 1))
+        self.mmu_cache.insert(key, nested.spp, cotag=cotag, pt_line=pt_line)
+        if pt_line is not None and self.fill_listener is not None:
+            self.fill_listener(SharerKind.MMU_CACHE, pt_line, True, False)
+
+    def _fill_tlbs(
+        self, ctx: AddressSpaceContext, gvp: int, result: WalkResult
+    ) -> None:
+        cotag = None
+        pt_line = None
+        if result.nested_leaf_address is not None:
+            pt_line = cache_line_of(result.nested_leaf_address)
+            if self.cotag_scheme is not None:
+                cotag = self.cotag_scheme.cotag_of(result.nested_leaf_address)
+        result.cotag = cotag
+        key = TLB.key_for(ctx.vm_id, gvp)
+        self.tlb_l1.insert(key, result.spp, cotag=cotag, pt_line=pt_line)
+        self.tlb_l2.insert(key, result.spp, cotag=cotag, pt_line=pt_line)
+        if pt_line is not None and self.fill_listener is not None:
+            self.fill_listener(SharerKind.TLB, pt_line, True, False)
+
+    # ------------------------------------------------------------------
+    # nested dimension helpers
+    # ------------------------------------------------------------------
+    def _translate_gpp(
+        self, ctx: AddressSpaceContext, gpp: int
+    ) -> _NestedTranslation:
+        """Translate GPP -> SPP via the nTLB or a 4-step nested walk."""
+        key = NestedTLB.key_for(ctx.vm_id, gpp)
+        hit = self.ntlb.lookup(key)
+        if hit is not None:
+            self.stats.ntlb_hits += 1
+            leaf = ctx.nested_page_table.lookup(gpp)
+            return _NestedTranslation(
+                spp=hit.value, cycles=1, references=0, leaf=leaf
+            )
+
+        self.stats.nested_walks += 1
+        path = ctx.nested_page_table.walk_path(gpp)
+        cycles = 0
+        references = 0
+        for entry in path:
+            access = self.hierarchy.access(
+                entry.address, is_write=False, is_page_table=True
+            )
+            cycles += access.cycles
+            references += 1
+            self._note_accessed(ctx, entry, entry.address, guest=False)
+        if len(path) < 4:
+            return _NestedTranslation(
+                spp=0, cycles=cycles, references=references, leaf=None, fault=True
+            )
+        leaf = path[-1]
+        cotag = (
+            self.cotag_scheme.cotag_of(leaf.address)
+            if self.cotag_scheme is not None
+            else None
+        )
+        pt_line = cache_line_of(leaf.address)
+        self.ntlb.insert(key, leaf.pfn, cotag=cotag, pt_line=pt_line)
+        if self.fill_listener is not None:
+            self.fill_listener(SharerKind.NTLB, pt_line, True, False)
+        return _NestedTranslation(
+            spp=leaf.pfn, cycles=cycles, references=references, leaf=leaf
+        )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _note_accessed(
+        self,
+        ctx: AddressSpaceContext,
+        entry: PageTableEntry,
+        entry_spa: int,
+        guest: bool,
+    ) -> None:
+        """Set the accessed bit; first access marks the directory entry."""
+        if entry.accessed:
+            return
+        entry.accessed = True
+        if self.fill_listener is not None:
+            self.fill_listener(
+                SharerKind.CACHE,
+                cache_line_of(entry_spa),
+                not guest,
+                guest,
+            )
+
+    def _fault(self, result: WalkResult, kind: str) -> WalkResult:
+        result.fault = kind
+        self.stats.faults += 1
+        self.stats.cycles += result.cycles
+        self.stats.memory_references += result.memory_references
+        return result

@@ -1,0 +1,19 @@
+"""Virtualization substrate: VMs, guest processes, hypervisors and paging policies."""
+
+from repro.virt.vm import GuestProcess, VirtualMachine
+from repro.virt.paging import ClockPolicy, FifoPolicy, PagingPolicy, make_policy
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.kvm import KvmHypervisor
+from repro.virt.xen import XenHypervisor
+
+__all__ = [
+    "ClockPolicy",
+    "FifoPolicy",
+    "GuestProcess",
+    "Hypervisor",
+    "KvmHypervisor",
+    "PagingPolicy",
+    "VirtualMachine",
+    "XenHypervisor",
+    "make_policy",
+]

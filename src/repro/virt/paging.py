@@ -1,0 +1,145 @@
+"""Hypervisor paging policies for the die-stacked DRAM tier.
+
+Section 5.2 of the paper studies FIFO and (pseudo-)LRU eviction, a
+migration daemon that keeps a pool of free die-stacked frames so
+evictions stay off the critical path, and prefetching of adjacent pages.
+The policies here decide *which* resident page to evict; the migration
+mechanics live in :mod:`repro.virt.hypervisor`.
+
+Pages are identified by ``(vm_id, gpp)`` keys so a single policy
+instance can manage die-stacked DRAM shared by several VMs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from typing import Hashable, Optional
+
+PageKey = Hashable
+
+
+class PagingPolicy(ABC):
+    """Chooses eviction victims among pages resident in the fast tier."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_page_resident(self, key: PageKey) -> None:
+        """A page became resident in the fast tier."""
+
+    @abstractmethod
+    def on_access(self, key: PageKey) -> None:
+        """A resident page was accessed."""
+
+    @abstractmethod
+    def on_page_evicted(self, key: PageKey) -> None:
+        """A page was removed from the fast tier."""
+
+    @abstractmethod
+    def select_victim(self) -> Optional[PageKey]:
+        """Return the next page to evict, or None if nothing is resident."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of pages the policy currently tracks."""
+
+
+class FifoPolicy(PagingPolicy):
+    """Evict pages in the order they became resident."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: deque[PageKey] = deque()
+        self._resident: set[PageKey] = set()
+
+    def on_page_resident(self, key: PageKey) -> None:
+        if key in self._resident:
+            return
+        self._resident.add(key)
+        self._queue.append(key)
+
+    def on_access(self, key: PageKey) -> None:
+        # FIFO ignores recency.
+        return
+
+    def on_page_evicted(self, key: PageKey) -> None:
+        self._resident.discard(key)
+
+    def select_victim(self) -> Optional[PageKey]:
+        while self._queue:
+            key = self._queue.popleft()
+            if key in self._resident:
+                # The caller will confirm the eviction via on_page_evicted;
+                # remove it from the resident set now so repeated calls do
+                # not return the same victim.
+                self._resident.discard(key)
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+
+class ClockPolicy(PagingPolicy):
+    """Pseudo-LRU CLOCK policy, as KVM's use of Linux's CLOCK in the paper.
+
+    Each resident page has a reference bit that accesses set.  The clock
+    hand sweeps the resident list: pages with the bit set get a second
+    chance (bit cleared, moved to the back), the first page found with a
+    clear bit is the victim.
+    """
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._pages: OrderedDict[PageKey, bool] = OrderedDict()
+
+    def on_page_resident(self, key: PageKey) -> None:
+        self._pages[key] = True
+        self._pages.move_to_end(key)
+
+    def on_access(self, key: PageKey) -> None:
+        if key in self._pages:
+            self._pages[key] = True
+
+    def on_page_evicted(self, key: PageKey) -> None:
+        self._pages.pop(key, None)
+
+    def select_victim(self) -> Optional[PageKey]:
+        sweeps = 0
+        limit = 2 * len(self._pages) + 1
+        while self._pages and sweeps < limit:
+            key, referenced = next(iter(self._pages.items()))
+            if referenced:
+                self._pages[key] = False
+                self._pages.move_to_end(key)
+                sweeps += 1
+                continue
+            del self._pages[key]
+            return key
+        if not self._pages:
+            return None
+        # Every page was referenced during the sweep; fall back to the
+        # oldest one.
+        key, _ = self._pages.popitem(last=False)
+        return key
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+_POLICIES: dict[str, type[PagingPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def make_policy(name: str) -> PagingPolicy:
+    """Instantiate a paging policy by name (``"fifo"`` or ``"lru"``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown paging policy {name!r}; known: {known}")

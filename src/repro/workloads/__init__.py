@@ -1,0 +1,63 @@
+"""Workload generators: the paper's suite, small-footprint apps, SPEC mixes."""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    MultiprogrammedWorkload,
+    Workload,
+    WorkloadSpec,
+    WorkloadTrace,
+    generate_stream,
+)
+from repro.workloads.suite import (
+    PAPER_WORKLOAD_SPECS,
+    SMALL_WORKLOAD_SPECS,
+    make_paper_workload,
+    make_small_workload,
+)
+from repro.workloads.spec_mix import (
+    APPS_PER_MIX,
+    NUM_MIXES,
+    SPEC_APP_SPECS,
+    all_mixes,
+    make_spec_mix,
+    spec_app_names,
+)
+
+#: Registry of every named (non-mix) workload.
+WORKLOADS: dict[str, WorkloadSpec] = {
+    **PAPER_WORKLOAD_SPECS,
+    **SMALL_WORKLOAD_SPECS,
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Build any named workload (paper suite or small-footprint suite)."""
+    if name in WORKLOADS:
+        return Workload(WORKLOADS[name])
+    if name.startswith("mix"):
+        index = int(name[3:])
+        return make_spec_mix(index)
+    known = ", ".join(sorted(WORKLOADS)) + ", mixNN"
+    raise ValueError(f"unknown workload {name!r}; known: {known}")
+
+
+__all__ = [
+    "APPS_PER_MIX",
+    "MultiprogrammedWorkload",
+    "NUM_MIXES",
+    "PAPER_WORKLOAD_SPECS",
+    "SMALL_WORKLOAD_SPECS",
+    "SPEC_APP_SPECS",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "all_mixes",
+    "generate_stream",
+    "make_paper_workload",
+    "make_small_workload",
+    "make_spec_mix",
+    "make_workload",
+    "spec_app_names",
+]

@@ -1,0 +1,269 @@
+"""Synthetic workload trace generation.
+
+The paper drives its simulator with Pin-collected instruction traces of
+real workloads (50 billion references, months of collection time).
+Those traces are not available, so this module substitutes parametric
+synthetic generators.  Translation coherence cost is governed by a small
+number of trace properties, which the generators control directly:
+
+* the data footprint relative to die-stacked DRAM capacity (how much
+  paging happens at all);
+* the size and drift of the hot working set (the steady-state migration
+  rate);
+* the probability of touching the cold tail of the footprint (demand
+  migrations off the critical path of phase changes);
+* page-level reuse and sequentiality (TLB/MMU-cache hit rates, i.e. how
+  much a full flush hurts);
+* the read/write mix and the number of threads sharing an address space
+  (how widely translations are shared across CPUs).
+
+Each workload in :mod:`repro.workloads.suite` picks these parameters to
+mimic the qualitative behaviour the paper reports for the corresponding
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters describing one application's memory behaviour.
+
+    Attributes:
+        name: workload identifier.
+        description: one-line description of what it mimics.
+        footprint_pages: total distinct data pages the application touches.
+        hot_pages: size of the hot working-set window within the footprint.
+        cold_access_probability: probability that a page visit targets the
+            whole footprint uniformly instead of the hot window (these are
+            the accesses that cause steady-state demand migrations).
+        drift_pages: how far the hot window slides at each phase boundary.
+        phase_length_refs: per-thread references per phase.
+        page_reuse: consecutive references issued to a page per visit.
+        sequential_fraction: probability that the next page visit is the
+            following page (streaming behaviour).
+        write_fraction: fraction of references that are writes.
+        refs_total: total references across all threads for a default run.
+        base_page: first guest virtual page of the footprint.
+    """
+
+    name: str
+    description: str
+    footprint_pages: int
+    hot_pages: int
+    cold_access_probability: float
+    drift_pages: int
+    phase_length_refs: int
+    page_reuse: int
+    sequential_fraction: float
+    write_fraction: float
+    refs_total: int
+    base_page: int = 0x40000
+
+    def __post_init__(self) -> None:
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if not 0 < self.hot_pages <= self.footprint_pages:
+            raise ValueError("hot_pages must be in 1..footprint_pages")
+        if not 0.0 <= self.cold_access_probability <= 1.0:
+            raise ValueError("cold_access_probability must be a probability")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+        if self.page_reuse <= 0:
+            raise ValueError("page_reuse must be positive")
+
+    def scaled_refs(self, factor: float) -> "WorkloadSpec":
+        """Return a copy with the total reference count scaled."""
+        return replace(self, refs_total=max(1, int(self.refs_total * factor)))
+
+
+@dataclass
+class WorkloadTrace:
+    """Generated per-vCPU reference streams ready to simulate.
+
+    Attributes:
+        name: workload name.
+        streams: per-vCPU arrays of guest virtual addresses.
+        writes: per-vCPU boolean arrays marking write references.
+        process_of_vcpu: index of the guest process each vCPU belongs to
+            (all zeros for a multithreaded workload; one process per vCPU
+            for multiprogrammed mixes).
+        num_processes: number of distinct guest processes.
+    """
+
+    name: str
+    streams: list[np.ndarray]
+    writes: list[np.ndarray]
+    process_of_vcpu: list[int]
+    num_processes: int
+
+    @property
+    def num_vcpus(self) -> int:
+        """Number of vCPU streams in the trace."""
+        return len(self.streams)
+
+    @property
+    def total_references(self) -> int:
+        """Total references across all streams."""
+        return sum(len(s) for s in self.streams)
+
+    def footprint_pages(self) -> int:
+        """Number of distinct guest virtual pages across the whole trace."""
+        pages: set[tuple[int, int]] = set()
+        for process, stream in zip(self.process_of_vcpu, self.streams):
+            pages.update(
+                (process, int(page)) for page in np.unique(stream >> PAGE_SHIFT)
+            )
+        return len(pages)
+
+
+def generate_stream(
+    spec: WorkloadSpec,
+    num_refs: int,
+    rng: np.random.Generator,
+    phase_start: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate one thread's reference stream for ``spec``.
+
+    ``phase_start`` selects where in the workload's phase schedule the
+    thread begins.  Threads of the same process should share it so their
+    hot windows coincide (they work on the same data), which is what
+    keeps the aggregate resident set close to ``hot_pages`` instead of
+    ``num_threads * hot_pages``.
+
+    Returns ``(addresses, writes)`` arrays of length ``num_refs``.
+    """
+    if num_refs <= 0:
+        return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool))
+
+    visits_needed = max(1, num_refs // spec.page_reuse + 1)
+    visits_per_phase = max(1, spec.phase_length_refs // spec.page_reuse)
+    pages = np.empty(visits_needed, dtype=np.int64)
+
+    hot_span = max(1, spec.footprint_pages - spec.hot_pages)
+    produced = 0
+    phase_index = phase_start
+    while produced < visits_needed:
+        count = min(visits_per_phase, visits_needed - produced)
+        hot_start = (phase_index * spec.drift_pages) % hot_span
+        is_cold = rng.random(count) < spec.cold_access_probability
+        hot_choice = hot_start + rng.integers(0, spec.hot_pages, count)
+        cold_choice = rng.integers(0, spec.footprint_pages, count)
+        chunk = np.where(is_cold, cold_choice, hot_choice)
+        if spec.sequential_fraction > 0.0:
+            sequential = rng.random(count) < spec.sequential_fraction
+            # A sequential visit follows its predecessor within the chunk.
+            for i in range(1, count):
+                if sequential[i]:
+                    chunk[i] = min(chunk[i - 1] + 1, spec.footprint_pages - 1)
+        pages[produced : produced + count] = chunk
+        produced += count
+        phase_index += 1
+
+    # Expand page visits into individual references with intra-page offsets.
+    repeated = np.repeat(pages, spec.page_reuse)[:num_refs]
+    offsets = rng.integers(0, PAGE_SIZE // 8, num_refs) * 8
+    addresses = ((spec.base_page + repeated) << PAGE_SHIFT) | offsets
+    writes = rng.random(num_refs) < spec.write_fraction
+    return addresses.astype(np.int64), writes
+
+
+class Workload:
+    """A multithreaded workload: every vCPU is a thread of one process."""
+
+    multiprogrammed = False
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """Workload name."""
+        return self.spec.name
+
+    def generate(
+        self,
+        num_vcpus: int,
+        seed: int = 42,
+        refs_total: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Generate per-vCPU streams for a run with ``num_vcpus`` threads."""
+        if num_vcpus <= 0:
+            raise ValueError("num_vcpus must be positive")
+        total = refs_total if refs_total is not None else self.spec.refs_total
+        per_thread = max(1, total // num_vcpus)
+        rng = np.random.default_rng(seed)
+        streams: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        for _ in range(num_vcpus):
+            thread_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+            addresses, write_flags = generate_stream(
+                self.spec, per_thread, thread_rng
+            )
+            streams.append(addresses)
+            writes.append(write_flags)
+        return WorkloadTrace(
+            name=self.spec.name,
+            streams=streams,
+            writes=writes,
+            process_of_vcpu=[0] * num_vcpus,
+            num_processes=1,
+        )
+
+
+class MultiprogrammedWorkload:
+    """A mix of single-threaded applications, one per vCPU (Figure 10)."""
+
+    multiprogrammed = True
+
+    def __init__(self, name: str, specs: Sequence[WorkloadSpec]) -> None:
+        if not specs:
+            raise ValueError("a multiprogrammed workload needs at least one spec")
+        self.name = name
+        self.specs = list(specs)
+
+    def generate(
+        self,
+        num_vcpus: Optional[int] = None,
+        seed: int = 42,
+        refs_total: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Generate one stream per application.
+
+        ``num_vcpus`` defaults to the number of applications; if smaller,
+        only the first ``num_vcpus`` applications run.
+        """
+        count = num_vcpus if num_vcpus is not None else len(self.specs)
+        if count <= 0:
+            raise ValueError("num_vcpus must be positive")
+        specs = self.specs[:count]
+        rng = np.random.default_rng(seed)
+        streams: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        for spec in specs:
+            per_app = (
+                refs_total // len(specs) if refs_total is not None else spec.refs_total
+            )
+            app_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+            addresses, write_flags = generate_stream(spec, per_app, app_rng)
+            streams.append(addresses)
+            writes.append(write_flags)
+        return WorkloadTrace(
+            name=self.name,
+            streams=streams,
+            writes=writes,
+            process_of_vcpu=list(range(len(specs))),
+            num_processes=len(specs),
+        )
+
+    @property
+    def app_names(self) -> list[str]:
+        """Names of the applications in the mix, in vCPU order."""
+        return [spec.name for spec in self.specs]

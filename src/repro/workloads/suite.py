@@ -1,0 +1,185 @@
+"""The paper's workload suite, as synthetic specs.
+
+Two groups, following Section 5.3:
+
+* **Big-memory workloads** that benefit from die-stacked DRAM bandwidth
+  but whose footprints exceed its capacity, so the hypervisor pages
+  between the tiers: canneal and facesim (PARSEC), data caching and
+  tunkrank (CloudSuite), and graph500.
+* **Small-footprint workloads** whose data fits comfortably within the
+  die-stacked tier, used to measure HATRIC's overheads when paging is
+  rare (Figure 11): the remaining PARSEC applications and a selection of
+  SPEC-like applications.
+
+The parameters are calibrated against the behaviours the paper reports,
+not against the real applications: e.g. data caching and tunkrank have
+poor locality and high migration churn (they *lose* performance from
+die-stacking under software coherence in Figure 2), facesim streams with
+strong reuse, graph500's hot set moves abruptly between BFS levels.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: Default total references for the big paper workloads.  Chosen so that
+#: a 16-vCPU run stays in the seconds range in pure-Python simulation
+#: while leaving thousands of references per phase.
+_BIG_REFS = 160_000
+_SMALL_REFS = 96_000
+
+
+PAPER_WORKLOAD_SPECS: dict[str, WorkloadSpec] = {
+    "canneal": WorkloadSpec(
+        name="canneal",
+        description="PARSEC canneal: large random working set, moderate churn",
+        footprint_pages=3200,
+        hot_pages=1880,
+        cold_access_probability=0.0015,
+        drift_pages=45,
+        phase_length_refs=2000,
+        page_reuse=4,
+        sequential_fraction=0.20,
+        write_fraction=0.30,
+        refs_total=_BIG_REFS,
+    ),
+    "data_caching": WorkloadSpec(
+        name="data_caching",
+        description="CloudSuite data caching: huge footprint, poor locality",
+        footprint_pages=4200,
+        hot_pages=1830,
+        cold_access_probability=0.002,
+        drift_pages=75,
+        phase_length_refs=1500,
+        page_reuse=2,
+        sequential_fraction=0.05,
+        write_fraction=0.10,
+        refs_total=_BIG_REFS,
+    ),
+    "graph500": WorkloadSpec(
+        name="graph500",
+        description="graph500 BFS: frontier-driven phases, bursty migrations",
+        footprint_pages=3600,
+        hot_pages=1860,
+        cold_access_probability=0.001,
+        drift_pages=60,
+        phase_length_refs=2200,
+        page_reuse=3,
+        sequential_fraction=0.10,
+        write_fraction=0.20,
+        refs_total=_BIG_REFS,
+    ),
+    "tunkrank": WorkloadSpec(
+        name="tunkrank",
+        description="CloudSuite tunkrank: graph analytics, low reuse, high churn",
+        footprint_pages=3900,
+        hot_pages=1840,
+        cold_access_probability=0.0016,
+        drift_pages=70,
+        phase_length_refs=1800,
+        page_reuse=2,
+        sequential_fraction=0.05,
+        write_fraction=0.25,
+        refs_total=_BIG_REFS,
+    ),
+    "facesim": WorkloadSpec(
+        name="facesim",
+        description="PARSEC facesim: streaming with strong reuse",
+        footprint_pages=2800,
+        hot_pages=1880,
+        cold_access_probability=0.001,
+        drift_pages=45,
+        phase_length_refs=2200,
+        page_reuse=6,
+        sequential_fraction=0.50,
+        write_fraction=0.40,
+        refs_total=_BIG_REFS,
+    ),
+}
+
+
+SMALL_WORKLOAD_SPECS: dict[str, WorkloadSpec] = {
+    "blackscholes": WorkloadSpec(
+        name="blackscholes",
+        description="PARSEC blackscholes: small streaming footprint",
+        footprint_pages=900,
+        hot_pages=500,
+        cold_access_probability=0.0004,
+        drift_pages=30,
+        phase_length_refs=4000,
+        page_reuse=6,
+        sequential_fraction=0.60,
+        write_fraction=0.20,
+        refs_total=_SMALL_REFS,
+    ),
+    "swaptions": WorkloadSpec(
+        name="swaptions",
+        description="PARSEC swaptions: tiny hot set, compute bound",
+        footprint_pages=600,
+        hot_pages=300,
+        cold_access_probability=0.0003,
+        drift_pages=20,
+        phase_length_refs=5000,
+        page_reuse=8,
+        sequential_fraction=0.30,
+        write_fraction=0.25,
+        refs_total=_SMALL_REFS,
+    ),
+    "fluidanimate": WorkloadSpec(
+        name="fluidanimate",
+        description="PARSEC fluidanimate: grid sweeps, moderate footprint",
+        footprint_pages=1400,
+        hot_pages=700,
+        cold_access_probability=0.0006,
+        drift_pages=60,
+        phase_length_refs=3500,
+        page_reuse=5,
+        sequential_fraction=0.55,
+        write_fraction=0.35,
+        refs_total=_SMALL_REFS,
+    ),
+    "streamcluster": WorkloadSpec(
+        name="streamcluster",
+        description="PARSEC streamcluster: repeated scans of a medium set",
+        footprint_pages=1600,
+        hot_pages=900,
+        cold_access_probability=0.0007,
+        drift_pages=70,
+        phase_length_refs=3000,
+        page_reuse=4,
+        sequential_fraction=0.65,
+        write_fraction=0.15,
+        refs_total=_SMALL_REFS,
+    ),
+    "bodytrack": WorkloadSpec(
+        name="bodytrack",
+        description="PARSEC bodytrack: small working set, bursty phases",
+        footprint_pages=1100,
+        hot_pages=450,
+        cold_access_probability=0.0005,
+        drift_pages=50,
+        phase_length_refs=2500,
+        page_reuse=5,
+        sequential_fraction=0.25,
+        write_fraction=0.30,
+        refs_total=_SMALL_REFS,
+    ),
+}
+
+
+def make_paper_workload(name: str) -> Workload:
+    """Return one of the five big-memory paper workloads by name."""
+    try:
+        return Workload(PAPER_WORKLOAD_SPECS[name])
+    except KeyError:
+        known = ", ".join(sorted(PAPER_WORKLOAD_SPECS))
+        raise ValueError(f"unknown paper workload {name!r}; known: {known}")
+
+
+def make_small_workload(name: str) -> Workload:
+    """Return one of the small-footprint workloads by name."""
+    try:
+        return Workload(SMALL_WORKLOAD_SPECS[name])
+    except KeyError:
+        known = ", ".join(sorted(SMALL_WORKLOAD_SPECS))
+        raise ValueError(f"unknown small workload {name!r}; known: {known}")

@@ -1,0 +1,74 @@
+"""Tests for address-space constants and helpers."""
+
+import pytest
+
+from repro.translation.address import (
+    CACHE_LINE_SIZE,
+    ENTRIES_PER_LINE,
+    ENTRIES_PER_TABLE,
+    PAGE_SIZE,
+    PTE_SIZE,
+    cache_line_of,
+    gpp_of,
+    gvp_of,
+    level_index,
+    page_offset,
+    spp_of,
+    vpn_prefix,
+)
+
+
+def test_page_constants_are_consistent():
+    assert PAGE_SIZE == 4096
+    assert PTE_SIZE == 8
+    assert ENTRIES_PER_TABLE == PAGE_SIZE // PTE_SIZE == 512
+    assert ENTRIES_PER_LINE == CACHE_LINE_SIZE // PTE_SIZE == 8
+
+
+def test_page_number_helpers():
+    assert gvp_of(0x1234_5678) == 0x1234_5678 >> 12
+    assert gpp_of(0x2000) == 2
+    assert spp_of(0xFFF) == 0
+    assert page_offset(0x1234) == 0x234
+    assert page_offset(0x1000) == 0
+
+
+def test_cache_line_of_aligns_down():
+    assert cache_line_of(0x1000) == 0x1000
+    assert cache_line_of(0x103F) == 0x1000
+    assert cache_line_of(0x1040) == 0x1040
+
+
+def test_level_index_splits_vpn_into_nine_bit_fields():
+    vpn = (3 << 27) | (5 << 18) | (7 << 9) | 11
+    assert level_index(vpn, 4) == 3
+    assert level_index(vpn, 3) == 5
+    assert level_index(vpn, 2) == 7
+    assert level_index(vpn, 1) == 11
+
+
+def test_level_index_rejects_bad_levels():
+    with pytest.raises(ValueError):
+        level_index(0, 0)
+    with pytest.raises(ValueError):
+        level_index(0, 5)
+
+
+def test_vpn_prefix_is_monotone_in_level():
+    vpn = 0x12345678
+    assert vpn_prefix(vpn, 1) == vpn
+    assert vpn_prefix(vpn, 2) == vpn >> 9
+    assert vpn_prefix(vpn, 3) == vpn >> 18
+    assert vpn_prefix(vpn, 4) == vpn >> 27
+
+
+def test_vpn_prefix_rejects_bad_levels():
+    with pytest.raises(ValueError):
+        vpn_prefix(0, 7)
+
+
+def test_two_pages_in_same_table_share_prefix_above_leaf():
+    a = 0x100
+    b = 0x101
+    assert vpn_prefix(a, 2) == vpn_prefix(b, 2)
+    assert level_index(a, 1) != level_index(b, 1)

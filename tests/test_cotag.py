@@ -1,0 +1,50 @@
+"""Tests for co-tag encoding."""
+
+import pytest
+
+from repro.core.cotag import CoTagScheme, DEFAULT_COTAG_SCHEME
+
+
+def test_default_scheme_is_two_bytes():
+    assert DEFAULT_COTAG_SCHEME.size_bytes == 2
+    assert DEFAULT_COTAG_SCHEME.bits == 16
+
+
+def test_minimum_width_enforced():
+    with pytest.raises(ValueError):
+        CoTagScheme(size_bytes=0)
+
+
+def test_entries_in_same_cache_line_share_cotag():
+    scheme = CoTagScheme(size_bytes=2)
+    base = 0x4_2000
+    for offset in range(0, 64, 8):
+        assert scheme.cotag_of(base + offset) == scheme.cotag_of(base)
+
+
+def test_adjacent_cache_lines_have_distinct_cotags():
+    scheme = CoTagScheme(size_bytes=2)
+    assert scheme.cotag_of(0x1000) != scheme.cotag_of(0x1040)
+
+
+def test_narrow_cotags_alias_more():
+    wide = CoTagScheme(size_bytes=3)
+    narrow = CoTagScheme(size_bytes=1)
+    a = 0x1000
+    b = 0x1000 + (1 << (8 + 6))  # differs only above the narrow tag's reach
+    assert narrow.aliases(a, b)
+    assert not wide.aliases(a, b)
+
+
+def test_cotag_fits_in_declared_width():
+    for size in (1, 2, 3):
+        scheme = CoTagScheme(size_bytes=size)
+        tag = scheme.cotag_of(0xFFFF_FFFF_FFF8)
+        assert 0 <= tag < (1 << (8 * size))
+
+
+def test_aliases_is_reflexive_and_symmetric():
+    scheme = CoTagScheme(size_bytes=2)
+    a, b = 0x2040, 0x9_2040
+    assert scheme.aliases(a, a)
+    assert scheme.aliases(a, b) == scheme.aliases(b, a)

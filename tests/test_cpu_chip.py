@@ -1,0 +1,117 @@
+"""Tests for the CPU core and chip assembly."""
+
+import pytest
+
+from repro.coherence.directory import SharerKind
+from repro.sim.config import CoherenceDirectoryConfig
+from repro.translation.address import cache_line_of
+from repro.translation.structures import TLB
+
+from tests.conftest import build_machine, small_config
+
+
+class TestTranslationPath:
+    def test_l1_tlb_hit_after_walk(self, machine):
+        gvp = 0x40010
+        machine.touch(0, gvp)
+        core = machine.chip.core(0)
+        first = core.translate(machine.process, gvp)
+        assert first.source == "l1-tlb"
+        assert first.cycles == machine.config.costs.l1_tlb_latency
+
+    def test_l2_tlb_backstops_l1_capacity(self, machine):
+        core = machine.chip.core(0)
+        l1_capacity = core.tlb_l1.capacity
+        gvps = [0x40100 + i for i in range(l1_capacity + 4)]
+        for gvp in gvps:
+            machine.touch(0, gvp)
+        # The oldest pages fell out of the L1 TLB but fit in the L2 TLB.
+        outcome = core.translate(machine.process, gvps[0])
+        assert outcome.source == "l2-tlb"
+        assert outcome.fault is None
+
+    def test_walk_used_when_both_tlbs_miss(self, machine):
+        gvp = 0x40200
+        machine.process.ensure_guest_mapping(gvp)
+        gpp = machine.process.gpp_of(gvp)
+        machine.hypervisor.handle_nested_fault(machine.process, gpp, 0)
+        outcome = machine.chip.core(0).translate(machine.process, gvp)
+        assert outcome.source == "walk"
+        assert outcome.cycles > machine.config.costs.l2_tlb_latency
+
+    def test_data_access_returns_positive_latency(self, machine):
+        spp = machine.touch(0, 0x40300)
+        cycles = machine.chip.core(0).access_data(spp << 12)
+        assert cycles >= machine.config.cache.l1_latency
+
+
+class TestInvalidationEntryPoints:
+    def test_flush_reports_what_it_dropped(self, machine):
+        machine.touch(0, 0x40400)
+        core = machine.chip.core(0)
+        report = core.flush_translation_structures()
+        assert report.tlb_entries > 0
+        assert report.translation_entries == (
+            report.tlb_entries + report.mmu_entries + report.ntlb_entries
+        )
+        assert core.resident_translation_entries() == 0
+
+    def test_invalidate_by_cotag_only_hits_matching_entries(self, machine):
+        machine.touch(0, 0x40500)
+        core = machine.chip.core(0)
+        report = core.invalidate_by_cotag(0xFFFF)  # matches nothing
+        assert report.translation_entries == 0
+
+    def test_flush_mmu_and_ntlb_spares_tlb(self, machine):
+        gvp = 0x40600
+        machine.touch(0, gvp)
+        core = machine.chip.core(0)
+        core.flush_mmu_and_ntlb()
+        assert TLB.key_for(machine.process.vm_id, gvp) in core.tlb_l1
+        assert len(core.mmu_cache) == 0
+        assert len(core.ntlb) == 0
+
+
+class TestChipDirectoryIntegration:
+    def test_page_table_write_reports_sharers(self, machine):
+        gvp = 0x40700
+        machine.touch(0, gvp)
+        machine.touch(1, gvp)
+        gpp = machine.process.gpp_of(gvp)
+        leaf = machine.process.nested_page_table.lookup(gpp)
+        line = cache_line_of(leaf.address)
+        outcome = machine.chip.page_table_write(line, writer_cpu=3)
+        assert {0, 1}.issubset(outcome.invalidate_cpus)
+        assert outcome.is_nested_pt
+
+    def test_back_invalidation_removes_translations(self):
+        config = small_config(
+            directory=CoherenceDirectoryConfig(capacity=8),
+        )
+        machine = build_machine(config)
+        for i in range(64):
+            machine.touch(0, 0x40800 + i)
+        assert machine.stats.events.get("directory.back_invalidations", 0) > 0
+
+    def test_reset_statistics_preserves_contents(self, machine):
+        gvp = 0x40900
+        machine.touch(0, gvp)
+        core = machine.chip.core(0)
+        resident_before = core.resident_translation_entries()
+        machine.chip.reset_statistics()
+        assert core.resident_translation_entries() == resident_before
+        assert core.tlb_l1.stats.lookups == 0
+        assert core.l1.stats.accesses == 0
+        assert machine.chip.llc.stats.accesses == 0
+
+    def test_translation_fills_not_tracked_for_software_protocol(self):
+        machine = build_machine(small_config(protocol="software"))
+        gvp = 0x40910
+        machine.touch(2, gvp)
+        gpp = machine.process.gpp_of(gvp)
+        leaf = machine.process.nested_page_table.lookup(gpp)
+        line = cache_line_of(leaf.address)
+        entry = machine.chip.directory.lookup(line)
+        # The line is marked as page-table data, but CPU 2's TLB is not a
+        # tracked sharer (software coherence has no such hardware).
+        assert entry is not None and entry.is_nested_pt

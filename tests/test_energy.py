@@ -1,0 +1,74 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyModel, EnergyParameters
+
+from tests.conftest import build_machine, small_config
+
+
+def run_some_work(protocol="hatric", pages=64):
+    machine = build_machine(small_config(protocol=protocol))
+    for cpu in range(machine.config.num_cpus):
+        for i in range(pages):
+            machine.touch(cpu, 0x40000 + i)
+    return machine
+
+
+class TestEnergyModel:
+    def test_breakdown_sums_to_total(self):
+        machine = run_some_work()
+        model = EnergyModel(cotag_bytes=2)
+        breakdown = model.compute(machine.chip, machine.stats)
+        assert breakdown.total == pytest.approx(breakdown.dynamic + breakdown.static)
+        assert breakdown.total == pytest.approx(sum(breakdown.components.values()))
+        assert breakdown.total > 0
+
+    def test_static_energy_scales_with_runtime(self):
+        machine = run_some_work()
+        model = EnergyModel(cotag_bytes=0)
+        first = model.compute(machine.chip, machine.stats)
+        machine.stats.charge_cpu(0, 10_000_000)
+        second = model.compute(machine.chip, machine.stats)
+        assert second.static > first.static
+        assert second.dynamic == pytest.approx(first.dynamic)
+
+    def test_cotag_width_increases_energy(self):
+        machine = run_some_work()
+        narrow = EnergyModel(cotag_bytes=1).compute(machine.chip, machine.stats)
+        wide = EnergyModel(cotag_bytes=3).compute(machine.chip, machine.stats)
+        assert wide.total > narrow.total
+
+    def test_no_cotag_model_has_no_cotag_components(self):
+        machine = run_some_work(protocol="software")
+        breakdown = EnergyModel(cotag_bytes=0).compute(machine.chip, machine.stats)
+        assert "translation.cotag_lookup" not in breakdown.components
+        assert "static.cotags" not in breakdown.components
+
+    def test_fine_grained_directory_costs_more(self):
+        machine = run_some_work()
+        coarse = EnergyModel(cotag_bytes=2).compute(machine.chip, machine.stats)
+        fine = EnergyModel(cotag_bytes=2, fine_grained_directory=True).compute(
+            machine.chip, machine.stats
+        )
+        assert (
+            fine.components["coherence.directory"]
+            > coarse.components["coherence.directory"]
+        )
+
+    def test_vm_exits_and_ipis_add_energy(self):
+        machine = run_some_work(protocol="software")
+        baseline = EnergyModel().compute(machine.chip, machine.stats)
+        machine.stats.count("coherence.vm_exits", 1000)
+        machine.stats.count("coherence.ipis", 1000)
+        loaded = EnergyModel().compute(machine.chip, machine.stats)
+        assert loaded.total > baseline.total
+
+    def test_parameter_ordering_is_sane(self):
+        params = EnergyParameters()
+        # On-chip structures are cheaper than caches, which are cheaper
+        # than DRAM; UNITD's CAM costs more than a co-tag search.
+        assert params.tlb_lookup < params.l1_access < params.llc_access
+        assert params.llc_access < params.slow_mem_access
+        assert params.fast_mem_access < params.slow_mem_access
+        assert params.cotag_search < params.unitd_cam_search

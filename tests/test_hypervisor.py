@@ -1,0 +1,153 @@
+"""Tests for the hypervisor model: fault handling, paging, migration."""
+
+import pytest
+
+from repro.sim.config import (
+    PLACEMENT_FAST_ONLY,
+    PLACEMENT_SLOW_ONLY,
+    PagingConfig,
+)
+from repro.virt.kvm import KvmHypervisor
+from repro.virt.xen import XenHypervisor
+
+from tests.conftest import build_machine, small_config
+
+
+def touch_pages(machine, count, start_gvp=0x40000, cpu=0):
+    """Touch ``count`` distinct pages on one CPU; return their GVPs."""
+    gvps = [start_gvp + i for i in range(count)]
+    for gvp in gvps:
+        machine.touch(cpu, gvp)
+    return gvps
+
+
+class TestPlacements:
+    def test_slow_only_places_everything_off_chip(self):
+        machine = build_machine(small_config(placement=PLACEMENT_SLOW_ONLY))
+        spp = machine.touch(0, 0x40000)
+        assert machine.chip.memory.slow.contains(spp)
+        assert machine.stats.events.get("paging.evictions", 0) == 0
+
+    def test_fast_only_places_everything_in_die_stacked(self):
+        machine = build_machine(small_config(placement=PLACEMENT_FAST_ONLY))
+        spp = machine.touch(0, 0x40000)
+        assert machine.chip.memory.fast.contains(spp)
+
+    def test_paged_first_touch_lands_in_die_stacked(self):
+        machine = build_machine(small_config())
+        spp = machine.touch(0, 0x40000)
+        assert machine.chip.memory.fast.contains(spp)
+        assert machine.hypervisor.resident_pages == 1
+
+
+class TestEvictionAndMigration:
+    def test_capacity_pressure_triggers_evictions(self, config):
+        machine = build_machine(config)
+        capacity = machine.chip.memory.fast.num_frames
+        touch_pages(machine, capacity + 16)
+        events = machine.stats.events
+        assert events["paging.evictions"] >= 16
+        assert machine.hypervisor.evicted_pages >= 16
+        # Every evicted page is parked in off-chip DRAM.
+        for slow_spp in machine.hypervisor.backing.values():
+            assert machine.chip.memory.slow.contains(slow_spp)
+
+    def test_refault_of_evicted_page_is_a_demand_migration(self, config):
+        machine = build_machine(config)
+        capacity = machine.chip.memory.fast.num_frames
+        gvps = touch_pages(machine, capacity + 16)
+        victim_gvp = gvps[0]  # LRU: the first page touched was evicted
+        assert machine.stats.events.get("paging.demand_migrations", 0) == 0
+        spp = machine.touch(0, victim_gvp)
+        assert machine.chip.memory.fast.contains(spp)
+        assert machine.stats.events["paging.demand_migrations"] >= 1
+
+    def test_eviction_invalidates_stale_translations(self, config):
+        machine = build_machine(config)
+        capacity = machine.chip.memory.fast.num_frames
+        gvps = touch_pages(machine, capacity + 16)
+        # Re-translating any page must agree with the page tables.
+        for gvp in gvps[:32]:
+            spp = machine.touch(0, gvp)
+            gpp = machine.process.gpp_of(gvp)
+            assert machine.process.nested_page_table.lookup(gpp).pfn == spp
+
+    def test_free_frames_never_negative(self, config):
+        machine = build_machine(config)
+        touch_pages(machine, machine.chip.memory.fast.num_frames + 64)
+        assert machine.chip.memory.fast.free_frames >= 0
+
+
+class TestMigrationDaemon:
+    def test_daemon_keeps_free_pool(self):
+        config = small_config(
+            paging=PagingConfig(
+                policy="lru",
+                migration_daemon=True,
+                daemon_free_target=16,
+                prefetch_pages=0,
+            )
+        )
+        machine = build_machine(config)
+        touch_pages(machine, machine.chip.memory.fast.num_frames + 8)
+        assert machine.chip.memory.fast.free_frames >= 8
+        assert machine.stats.events["paging.daemon_wakeups"] >= 1
+        assert machine.stats.background_cycles > 0
+
+
+class TestPrefetching:
+    def test_prefetch_brings_back_adjacent_evicted_pages(self):
+        config = small_config(
+            paging=PagingConfig(
+                policy="lru",
+                migration_daemon=False,
+                prefetch_pages=2,
+            )
+        )
+        machine = build_machine(config)
+        capacity = machine.chip.memory.fast.num_frames
+        gvps = touch_pages(machine, capacity + 32)
+        # Touch an early evicted page again: its neighbours (also evicted,
+        # and adjacent in guest physical space because the guest allocates
+        # data frames sequentially) should be prefetched along with it.
+        # gvps[0] is avoided because its guest-physical neighbours are the
+        # pinned guest page table pages created by the very first mapping.
+        machine.touch(0, gvps[10])
+        assert machine.stats.events.get("paging.prefetches", 0) >= 1
+
+
+class TestDefragmentation:
+    def test_defrag_remaps_trigger_coherence(self):
+        config = small_config(
+            paging=PagingConfig(
+                policy="lru",
+                migration_daemon=False,
+                prefetch_pages=0,
+                defrag_interval=5,
+            )
+        )
+        machine = build_machine(config)
+        machine.touch(0, 0x40000)
+        for _ in range(20):
+            machine.hypervisor.on_data_access(
+                machine.process.nested_page_table.lookup(
+                    machine.process.gpp_of(0x40000)
+                ).pfn,
+                cpu=0,
+            )
+        assert machine.stats.events["paging.defrag_remaps"] >= 2
+        assert machine.stats.events["coherence.remaps"] >= 2
+
+
+class TestHypervisorVariants:
+    def test_xen_costs_are_heavier_than_kvm(self, config):
+        kvm = KvmHypervisor.adjust_costs(config.costs)
+        xen = XenHypervisor.adjust_costs(config.costs)
+        assert xen.vm_exit > kvm.vm_exit
+        assert xen.shootdown_setup > kvm.shootdown_setup
+        # Hardware-side costs are untouched: HATRIC is hypervisor-agnostic.
+        assert xen.cotag_search == kvm.cotag_search
+        assert xen.directory_lookup == kvm.directory_lookup
+
+    def test_create_vm_assigns_target_cpus(self, machine):
+        assert machine.vm.target_cpus == list(range(machine.config.num_cpus))

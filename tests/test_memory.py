@@ -1,0 +1,98 @@
+"""Tests for the two-tier physical memory model."""
+
+import pytest
+
+from repro.mem.memory import (
+    FrameAllocator,
+    MemoryTier,
+    OutOfMemoryError,
+    TwoTierMemory,
+)
+
+
+class TestFrameAllocator:
+    def test_allocates_distinct_frames(self):
+        alloc = FrameAllocator(base_spp=100, num_frames=10)
+        frames = [alloc.allocate() for _ in range(10)]
+        assert len(set(frames)) == 10
+        assert all(alloc.contains(f) for f in frames)
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(base_spp=0, num_frames=2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(OutOfMemoryError):
+            alloc.allocate()
+
+    def test_free_recycles_frames(self):
+        alloc = FrameAllocator(base_spp=0, num_frames=2)
+        a = alloc.allocate()
+        alloc.allocate()
+        alloc.free(a)
+        assert alloc.allocate() == a
+
+    def test_free_foreign_frame_rejected(self):
+        alloc = FrameAllocator(base_spp=0, num_frames=2)
+        with pytest.raises(ValueError):
+            alloc.free(1000)
+
+    def test_counters(self):
+        alloc = FrameAllocator(base_spp=0, num_frames=4)
+        assert alloc.free_frames == 4
+        a = alloc.allocate()
+        assert alloc.allocated == 1
+        assert alloc.free_frames == 3
+        alloc.free(a)
+        assert alloc.allocated == 0
+
+    def test_iter_allocated_excludes_freed(self):
+        alloc = FrameAllocator(base_spp=0, num_frames=4)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        alloc.free(a)
+        assert list(alloc.iter_allocated()) == [b]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(base_spp=0, num_frames=0)
+        with pytest.raises(ValueError):
+            FrameAllocator(base_spp=-1, num_frames=1)
+
+
+class TestMemoryTier:
+    def test_capacity_bytes(self):
+        tier = MemoryTier("t", num_frames=16, access_latency=100)
+        assert tier.capacity_bytes == 16 * 4096
+
+    def test_allocation_within_range(self):
+        tier = MemoryTier("t", num_frames=4, access_latency=100, base_spp=50)
+        spp = tier.allocate()
+        assert tier.contains(spp)
+        assert 50 <= spp < 54
+
+
+class TestTwoTierMemory:
+    def test_tiers_are_disjoint(self):
+        mem = TwoTierMemory(fast_frames=8, slow_frames=8)
+        fast = mem.fast.allocate()
+        slow = mem.slow.allocate()
+        assert mem.is_fast(fast)
+        assert not mem.is_fast(slow)
+        assert mem.tier_of(fast) is mem.fast
+        assert mem.tier_of(slow) is mem.slow
+
+    def test_latency_reflects_tier(self):
+        mem = TwoTierMemory(
+            fast_frames=4, slow_frames=4, fast_latency=10, slow_latency=99
+        )
+        assert mem.latency_of(mem.fast.allocate()) == 10
+        assert mem.latency_of(mem.slow.allocate()) == 99
+
+    def test_unknown_frame_rejected(self):
+        mem = TwoTierMemory(fast_frames=4, slow_frames=4)
+        with pytest.raises(ValueError):
+            mem.tier_of(1000)
+
+    def test_requires_positive_sizes(self):
+        with pytest.raises(ValueError):
+            TwoTierMemory(fast_frames=0, slow_frames=4)

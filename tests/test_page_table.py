@@ -1,0 +1,143 @@
+"""Tests for the 4-level radix page tables."""
+
+import itertools
+
+import pytest
+
+from repro.translation.address import PAGE_SHIFT, PTE_SIZE
+from repro.translation.page_table import (
+    GuestPageTable,
+    NestedPageTable,
+    RadixPageTable,
+)
+
+
+def make_table():
+    counter = itertools.count(1000)
+    return RadixPageTable(lambda: next(counter))
+
+
+class TestMapping:
+    def test_map_and_lookup(self):
+        table = make_table()
+        entry = table.map(0x1234, 0x55)
+        assert entry.pfn == 0x55
+        assert entry.level == 1
+        found = table.lookup(0x1234)
+        assert found is entry
+
+    def test_lookup_missing_returns_none(self):
+        table = make_table()
+        assert table.lookup(0x42) is None
+
+    def test_double_map_rejected(self):
+        table = make_table()
+        table.map(1, 2)
+        with pytest.raises(ValueError):
+            table.map(1, 3)
+
+    def test_mapped_pages_counter(self):
+        table = make_table()
+        assert table.mapped_pages == 0
+        table.map(1, 2)
+        table.map(2, 3)
+        assert table.mapped_pages == 2
+        table.unmap(1)
+        assert table.mapped_pages == 1
+
+    def test_unmap_missing_raises(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.unmap(77)
+
+    def test_remap_changes_frame_not_address(self):
+        table = make_table()
+        entry = table.map(10, 100)
+        address = entry.address
+        remapped = table.remap(10, 200)
+        assert remapped.pfn == 200
+        assert remapped.address == address
+
+    def test_remap_clears_accessed_and_dirty(self):
+        table = make_table()
+        entry = table.map(10, 100)
+        entry.accessed = True
+        entry.dirty = True
+        remapped = table.remap(10, 200)
+        assert not remapped.accessed
+        assert not remapped.dirty
+
+    def test_remap_missing_raises(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.remap(10, 1)
+
+    def test_unmap_then_map_reuses_same_entry_address(self):
+        """Co-tags rely on the nested PTE address staying put across a
+        page's eviction and re-migration."""
+        table = make_table()
+        first = table.map(0xABCDE, 7)
+        address = first.address
+        table.unmap(0xABCDE)
+        second = table.map(0xABCDE, 9)
+        assert second.address == address
+
+
+class TestStructure:
+    def test_walk_path_has_four_levels(self):
+        table = make_table()
+        table.map(0x1, 0x2)
+        path = table.walk_path(0x1)
+        assert [e.level for e in path] == [4, 3, 2, 1]
+
+    def test_walk_path_partial_when_unmapped(self):
+        table = make_table()
+        table.map(0x1, 0x2)
+        # A page sharing no upper-level tables terminates at the root.
+        other = 0x1 + (1 << 27)
+        assert table.walk_path(other) == []
+
+    def test_walk_path_shares_upper_levels_for_adjacent_pages(self):
+        table = make_table()
+        table.map(0x100, 1)
+        table.map(0x101, 2)
+        path_a = table.walk_path(0x100)
+        path_b = table.walk_path(0x101)
+        # Levels 4..2 are shared, the leaf entries differ.
+        assert [e.address for e in path_a[:3]] == [e.address for e in path_b[:3]]
+        assert path_a[3].address != path_b[3].address
+
+    def test_adjacent_leaf_entries_are_adjacent_in_memory(self):
+        table = make_table()
+        a = table.map(0x200, 1)
+        b = table.map(0x201, 2)
+        assert b.address - a.address == PTE_SIZE
+
+    def test_entry_addresses_live_in_their_table_page(self):
+        table = make_table()
+        entry = table.map(0x300, 1)
+        root_page = table.root.page_number
+        assert entry.address >> PAGE_SHIFT != root_page  # leaf is not the root
+        path = table.walk_path(0x300)
+        assert path[0].address >> PAGE_SHIFT == root_page
+
+    def test_table_pages_counted(self):
+        table = make_table()
+        assert table.table_pages == 1  # just the root
+        table.map(0x1, 0x2)
+        assert table.table_pages == 4  # root + 3 intermediate levels
+        table.map(0x2, 0x3)  # same leaf table
+        assert table.table_pages == 4
+
+    def test_iter_leaf_entries(self):
+        table = make_table()
+        table.map(1, 10)
+        table.map(2, 20)
+        table.map(1 << 27, 30)
+        pfns = sorted(e.pfn for e in table.iter_leaf_entries())
+        assert pfns == [10, 20, 30]
+
+
+def test_guest_and_nested_subclasses_are_radix_tables():
+    assert issubclass(GuestPageTable, RadixPageTable)
+    assert issubclass(NestedPageTable, RadixPageTable)

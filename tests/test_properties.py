@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cotag import CoTagScheme
+from repro.mem.cache import Cache
+from repro.mem.memory import FrameAllocator
+from repro.translation.address import PTE_SIZE, cache_line_of, level_index
+from repro.translation.page_table import RadixPageTable
+from repro.translation.structures import TLB
+from repro.virt.paging import ClockPolicy, FifoPolicy
+
+# ----------------------------------------------------------------------
+# addresses and co-tags
+# ----------------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - PTE_SIZE).map(
+    lambda a: a & ~0x7
+)
+
+
+@given(addresses)
+def test_cotag_determined_by_cache_line(address):
+    """All PTEs within one cache line share a co-tag, for every width."""
+    for size in (1, 2, 3):
+        scheme = CoTagScheme(size_bytes=size)
+        line = cache_line_of(address)
+        assert scheme.cotag_of(address) == scheme.cotag_of(line)
+
+
+@given(addresses, addresses)
+def test_wider_cotags_never_alias_where_narrow_ones_distinguish(a, b):
+    """Widening a co-tag never merges addresses a narrower tag separates."""
+    narrow = CoTagScheme(size_bytes=1)
+    wide = CoTagScheme(size_bytes=3)
+    if not narrow.aliases(a, b):
+        assert not wide.aliases(a, b)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 36) - 1))
+def test_level_indices_reassemble_vpn(vpn):
+    """The four 9-bit level indices partition the virtual page number."""
+    reassembled = 0
+    for level in range(4, 0, -1):
+        reassembled = (reassembled << 9) | level_index(vpn, level)
+    assert reassembled == vpn & ((1 << 36) - 1)
+
+
+# ----------------------------------------------------------------------
+# frame allocator
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=60))
+@settings(max_examples=50)
+def test_frame_allocator_never_double_allocates(operations):
+    allocator = FrameAllocator(base_spp=0, num_frames=16)
+    live: list[int] = []
+    for op in operations:
+        if op == "alloc":
+            if allocator.free_frames == 0:
+                continue
+            frame = allocator.allocate()
+            assert frame not in live
+            live.append(frame)
+        elif live:
+            allocator.free(live.pop())
+    assert allocator.allocated == len(live)
+    assert allocator.free_frames == 16 - len(live)
+
+
+# ----------------------------------------------------------------------
+# radix page table
+# ----------------------------------------------------------------------
+
+vpns = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+@given(st.dictionaries(vpns, st.integers(min_value=1, max_value=1 << 20), max_size=40))
+@settings(max_examples=50)
+def test_page_table_reflects_every_mapping(mappings):
+    counter = iter(range(10_000, 20_000))
+    table = RadixPageTable(lambda: next(counter))
+    for vpn, pfn in mappings.items():
+        table.map(vpn, pfn)
+    assert table.mapped_pages == len(mappings)
+    for vpn, pfn in mappings.items():
+        entry = table.lookup(vpn)
+        assert entry is not None and entry.pfn == pfn
+        path = table.walk_path(vpn)
+        assert [e.level for e in path] == [4, 3, 2, 1]
+        assert path[-1] is entry
+    # Entry addresses are unique: no two mappings share a PTE slot.
+    leaf_addresses = [table.lookup(vpn).address for vpn in mappings]
+    assert len(set(leaf_addresses)) == len(leaf_addresses)
+
+
+@given(st.sets(vpns, min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_page_table_unmap_then_remap_keeps_addresses(vpn_set):
+    counter = iter(range(30_000, 60_000))
+    table = RadixPageTable(lambda: next(counter))
+    first_addresses = {}
+    for vpn in vpn_set:
+        first_addresses[vpn] = table.map(vpn, 1).address
+    for vpn in vpn_set:
+        table.unmap(vpn)
+    assert table.mapped_pages == 0
+    for vpn in vpn_set:
+        assert table.map(vpn, 2).address == first_addresses[vpn]
+
+
+# ----------------------------------------------------------------------
+# translation structures
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 7)),
+        min_size=1,
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50)
+def test_tlb_never_exceeds_capacity_and_keeps_mru(operations, capacity):
+    tlb = TLB("tlb", capacity)
+    for key, cotag in operations:
+        tlb.insert(key, key * 10, cotag=cotag)
+        assert len(tlb) <= capacity
+    last_key = operations[-1][0]
+    assert last_key in tlb  # the most recent insertion is always resident
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 3)),
+        min_size=1,
+        max_size=120,
+    ),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=50)
+def test_cotag_invalidation_is_a_superset_of_precise_invalidation(entries, victim_cotag):
+    """Invalidating by co-tag removes at least what per-line invalidation
+    would (aliasing can only remove more, never less)."""
+    cotag_tlb = TLB("cotag", 256)
+    precise_tlb = TLB("precise", 256)
+    for key, group in entries:
+        cotag_tlb.insert(key, key, cotag=group, pt_line=group * 64)
+        precise_tlb.insert(key, key, cotag=group, pt_line=group * 64)
+    removed_by_cotag = cotag_tlb.invalidate_matching_cotag(victim_cotag)
+    removed_precisely = precise_tlb.invalidate_matching_line(victim_cotag * 64)
+    assert removed_by_cotag >= removed_precisely
+    # Nothing with the victim co-tag survives.
+    assert all(e.cotag != victim_cotag for e in cotag_tlb.entries())
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_flush_always_empties_structure(keys):
+    tlb = TLB("tlb", 64)
+    for key in keys:
+        tlb.insert(key, key)
+    dropped = tlb.flush()
+    assert dropped == min(len(set(keys)), 64)
+    assert len(tlb) == 0
+
+
+# ----------------------------------------------------------------------
+# caches
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_cache_occupancy_bounded_and_hits_after_fill(addresses):
+    cache = Cache("c", size_bytes=2048, associativity=2, latency=1)
+    max_lines = 2048 // 64
+    for address in addresses:
+        cache.fill(address)
+        assert cache.access(address)
+        assert len(cache) <= max_lines
+
+
+# ----------------------------------------------------------------------
+# paging policies
+# ----------------------------------------------------------------------
+
+policy_ops = st.lists(
+    st.tuples(st.sampled_from(["resident", "access", "evict"]), st.integers(0, 20)),
+    max_size=150,
+)
+
+
+@given(policy_ops)
+@settings(max_examples=50)
+def test_fifo_policy_victims_are_always_resident(operations):
+    _check_policy_invariants(FifoPolicy(), operations)
+
+
+@given(policy_ops)
+@settings(max_examples=50)
+def test_clock_policy_victims_are_always_resident(operations):
+    _check_policy_invariants(ClockPolicy(), operations)
+
+
+def _check_policy_invariants(policy, operations):
+    resident = set()
+    for op, page in operations:
+        if op == "resident":
+            policy.on_page_resident(page)
+            resident.add(page)
+        elif op == "access":
+            policy.on_access(page)
+        elif op == "evict" and resident:
+            victim = policy.select_victim()
+            if victim is not None:
+                assert victim in resident
+                resident.discard(victim)
+                policy.on_page_evicted(victim)
+    # Draining the policy yields each remaining resident page exactly once.
+    drained = set()
+    while True:
+        victim = policy.select_victim()
+        if victim is None:
+            break
+        assert victim in resident
+        assert victim not in drained
+        drained.add(victim)
+        policy.on_page_evicted(victim)
+    assert drained == resident

@@ -1,0 +1,206 @@
+"""Tests for the translation coherence protocols (the paper's core)."""
+
+import pytest
+
+from repro.core.protocol import PROTOCOLS, RemapEvent, make_protocol
+from repro.translation.structures import TLB
+
+from tests.conftest import build_machine, small_config
+
+
+def make_machine(protocol: str):
+    return build_machine(small_config(protocol=protocol))
+
+
+def cache_translation_everywhere(machine, gvp=0x40042):
+    """Make every CPU cache the translation of one page; return its leaf."""
+    process = machine.process
+    process.ensure_guest_mapping(gvp)
+    gpp = process.gpp_of(gvp)
+    machine.hypervisor.handle_nested_fault(process, gpp, cpu=0)
+    for cpu in range(machine.config.num_cpus):
+        outcome = machine.chip.core(cpu).translate(process, gvp)
+        assert outcome.fault is None
+    return gvp, gpp, process.nested_page_table.lookup(gpp)
+
+
+def remap_event(machine, gpp, leaf, initiator=0, background=False):
+    return RemapEvent(
+        initiator_cpu=initiator,
+        target_cpus=machine.vm.target_cpus,
+        gpp=gpp,
+        old_spp=leaf.pfn,
+        new_spp=None,
+        pte_address=leaf.address,
+        vm_id=machine.vm.vm_id,
+        background=background,
+    )
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        for name in ("software", "hatric", "unitd", "ideal"):
+            assert name in PROTOCOLS
+
+    def test_make_protocol_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_protocol("nonexistent")
+
+    def test_protocol_capability_flags(self):
+        assert make_protocol("hatric").uses_cotags
+        assert make_protocol("hatric").tracks_translation_sharers
+        assert not make_protocol("software").uses_cotags
+        assert not make_protocol("ideal").uses_cotags
+        assert make_protocol("unitd").tracks_translation_sharers
+        assert not make_protocol("unitd").uses_cotags
+
+
+class TestCorrectness:
+    """After any protocol handles a remap, no stale TLB entry survives."""
+
+    @pytest.mark.parametrize("protocol", ["software", "hatric", "unitd", "ideal"])
+    def test_no_stale_tlb_entry_after_remap(self, protocol):
+        machine = make_machine(protocol)
+        gvp, gpp, leaf = cache_translation_everywhere(machine)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        key = TLB.key_for(machine.process.vm_id, gvp)
+        for core in machine.chip.cores:
+            assert key not in core.tlb_l1
+            assert key not in core.tlb_l2
+
+    @pytest.mark.parametrize("protocol", ["software", "hatric", "unitd", "ideal"])
+    def test_retranslation_after_remap_sees_new_frame(self, protocol):
+        machine = make_machine(protocol)
+        gvp, gpp, leaf = cache_translation_everywhere(machine)
+        old_spp = leaf.pfn
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        new_spp = machine.hypervisor.memory.slow.allocate()
+        machine.process.nested_page_table.remap(gpp, new_spp)
+        for cpu in range(machine.config.num_cpus):
+            outcome = machine.chip.core(cpu).translate(machine.process, gvp)
+            assert outcome.fault is None
+            assert outcome.spp == new_spp
+            assert outcome.spp != old_spp
+
+
+class TestSoftwareShootdown:
+    def test_costs_land_on_every_target(self):
+        machine = make_machine("software")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        cost = machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        targets = set(machine.vm.target_cpus) - {0}
+        assert set(cost.target_cycles) == targets
+        for cycles in cost.target_cycles.values():
+            assert cycles >= machine.config.costs.vm_exit
+
+    def test_events_counted(self):
+        machine = make_machine("software")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        events = machine.stats.events
+        ncpus = machine.config.num_cpus
+        assert events["coherence.ipis"] == ncpus - 1
+        assert events["coherence.vm_exits"] == ncpus - 1
+        assert events["coherence.full_flushes"] == ncpus
+        assert events["coherence.flushed_entries"] > 0
+
+    def test_everything_flushed_not_just_stale_entries(self):
+        machine = make_machine("software")
+        cache_translation_everywhere(machine, gvp=0x40042)
+        cache_translation_everywhere(machine, gvp=0x40043)
+        _, gpp, leaf = cache_translation_everywhere(machine, gvp=0x40044)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        assert machine.chip.total_resident_translations() == 0
+
+    def test_background_remap_charges_initiator_to_background(self):
+        machine = make_machine("software")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        before = machine.stats.background_cycles
+        machine.protocol.on_nested_remap(
+            remap_event(machine, gpp, leaf, background=True)
+        )
+        assert machine.stats.background_cycles > before
+        assert machine.stats.cpus[0].coherence_cycles == 0
+
+
+class TestHatric:
+    def test_no_ipis_or_vm_exits(self):
+        machine = make_machine("hatric")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        events = machine.stats.events
+        assert events.get("coherence.ipis", 0) == 0
+        assert events.get("coherence.vm_exits", 0) == 0
+        assert events.get("coherence.full_flushes", 0) == 0
+
+    def test_unrelated_translations_survive(self):
+        machine = make_machine("hatric")
+        # A page whose nested page table entry lives in a different cache
+        # line than the victim's: guest physical pages are allocated
+        # sequentially, so padding allocations push the victim's GPP (and
+        # hence its nested PTE) into another 8-entry line.
+        unrelated_gvp = 0x40042 + (1 << 20)
+        cache_translation_everywhere(machine, gvp=unrelated_gvp)
+        for pad in range(1, 9):
+            machine.process.ensure_guest_mapping(0x48000 + pad)
+        _, gpp, leaf = cache_translation_everywhere(machine, gvp=0x40042)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        key = TLB.key_for(machine.process.vm_id, unrelated_gvp)
+        survivors = sum(key in core.tlb_l2 for core in machine.chip.cores)
+        assert survivors == machine.config.num_cpus
+
+    def test_target_cost_is_orders_of_magnitude_below_software(self):
+        hatric = make_machine("hatric")
+        _, gpp, leaf = cache_translation_everywhere(hatric)
+        hatric_cost = hatric.protocol.on_nested_remap(remap_event(hatric, gpp, leaf))
+
+        software = make_machine("software")
+        _, gpp_s, leaf_s = cache_translation_everywhere(software)
+        software_cost = software.protocol.on_nested_remap(
+            remap_event(software, gpp_s, leaf_s)
+        )
+        assert max(hatric_cost.target_cycles.values()) < (
+            max(software_cost.target_cycles.values()) / 10
+        )
+
+    def test_spurious_invalidations_demote_sharers(self):
+        machine = make_machine("hatric")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        event = remap_event(machine, gpp, leaf)
+        machine.protocol.on_nested_remap(event)
+        # A second write to the same line finds only the writer as sharer,
+        # so no further invalidations (and no spurious messages) are sent.
+        before = machine.stats.events.get("hatric.invalidation_messages", 0)
+        machine.protocol.on_nested_remap(event)
+        after = machine.stats.events.get("hatric.invalidation_messages", 0)
+        assert after == before
+
+
+class TestUnitd:
+    def test_flushes_mmu_and_ntlb_but_not_tlb(self):
+        machine = make_machine("unitd")
+        unrelated_gvp = 0x40042 + (1 << 20)
+        cache_translation_everywhere(machine, gvp=unrelated_gvp)
+        # Pad guest physical allocation so the victim's nested PTE lands in
+        # a different cache line than the unrelated page's.
+        for pad in range(1, 9):
+            machine.process.ensure_guest_mapping(0x48000 + pad)
+        _, gpp, leaf = cache_translation_everywhere(machine, gvp=0x40042)
+        machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        key = TLB.key_for(machine.process.vm_id, unrelated_gvp)
+        for core in machine.chip.cores:
+            # Unrelated TLB entries survive (selective TLB coherence)...
+            assert key in core.tlb_l1 or key in core.tlb_l2
+            # ...but MMU caches and nTLBs were flushed wholesale.
+            assert len(core.mmu_cache) == 0
+            assert len(core.ntlb) == 0
+        assert machine.stats.events["unitd.flushed_entries"] > 0
+
+
+class TestIdeal:
+    def test_charges_no_cycles(self):
+        machine = make_machine("ideal")
+        _, gpp, leaf = cache_translation_everywhere(machine)
+        cost = machine.protocol.on_nested_remap(remap_event(machine, gpp, leaf))
+        assert cost.total() == 0
+        assert machine.stats.coherence_cycles == 0

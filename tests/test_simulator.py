@@ -1,0 +1,142 @@
+"""Integration tests for the trace-driven simulator."""
+
+import pytest
+
+from repro.sim.config import PLACEMENT_FAST_ONLY, PLACEMENT_SLOW_ONLY
+from repro.sim.simulator import Simulator
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.spec_mix import make_spec_mix
+
+from tests.conftest import small_config
+
+
+def tiny_workload(footprint=500, hot=260, refs=8000, cold=0.01, **overrides):
+    params = dict(
+        name="tiny",
+        description="integration-test workload",
+        footprint_pages=footprint,
+        hot_pages=hot,
+        cold_access_probability=cold,
+        drift_pages=20,
+        phase_length_refs=500,
+        page_reuse=3,
+        sequential_fraction=0.2,
+        write_fraction=0.3,
+        refs_total=refs,
+    )
+    params.update(overrides)
+    return Workload(WorkloadSpec(**params))
+
+
+def run(protocol="hatric", placement="paged", workload=None, validate=True, **cfg):
+    config = small_config(protocol=protocol, placement=placement, **cfg)
+    simulator = Simulator(config, validate=validate)
+    return simulator.run(workload or tiny_workload(), warmup_fraction=0.2)
+
+
+class TestBasicRuns:
+    def test_run_completes_and_counts_instructions(self):
+        result = run()
+        assert result.runtime_cycles > 0
+        # 80% of the references are measured (20% warmup).
+        assert result.stats.total_instructions == pytest.approx(
+            0.8 * 8000, rel=0.02
+        )
+        assert result.warmup_references == pytest.approx(0.2 * 8000, rel=0.02)
+
+    def test_translation_correctness_enforced_in_validation_mode(self):
+        # validate=True cross-checks every translation against the page
+        # tables; reaching the end means no stale translation was used.
+        result = run(protocol="software", validate=True)
+        assert result.runtime_cycles > 0
+
+    def test_paged_mode_generates_coherence_activity(self):
+        result = run(protocol="software")
+        assert result.events.get("paging.evictions", 0) > 0
+        assert result.events.get("coherence.vm_exits", 0) > 0
+
+    def test_slow_only_never_pages(self):
+        result = run(placement=PLACEMENT_SLOW_ONLY)
+        assert result.events.get("paging.evictions", 0) == 0
+
+    def test_fast_only_never_pages(self):
+        result = run(placement=PLACEMENT_FAST_ONLY)
+        assert result.events.get("paging.evictions", 0) == 0
+        assert result.events.get("paging.demand_migrations", 0) == 0
+
+
+class TestProtocolOrdering:
+    def test_runtime_ordering_matches_the_paper(self):
+        """ideal <= hatric <= unitd++ <= software for a paging workload."""
+        results = {
+            name: run(protocol=name, validate=False)
+            for name in ("software", "unitd", "hatric", "ideal")
+        }
+        assert results["ideal"].runtime_cycles <= results["hatric"].runtime_cycles
+        assert (
+            results["hatric"].runtime_cycles
+            <= results["unitd"].runtime_cycles * 1.01
+        )
+        assert (
+            results["unitd"].runtime_cycles
+            <= results["software"].runtime_cycles * 1.01
+        )
+
+    def test_hatric_close_to_ideal(self):
+        hatric = run(protocol="hatric", validate=False)
+        ideal = run(protocol="ideal", validate=False)
+        assert hatric.runtime_cycles <= ideal.runtime_cycles * 1.08
+
+    def test_software_coherence_cycles_dominate_hardware(self):
+        software = run(protocol="software", validate=False)
+        hatric = run(protocol="hatric", validate=False)
+        assert software.coherence_cycles > 10 * max(hatric.coherence_cycles, 1)
+
+
+class TestNormalization:
+    def test_normalized_runtime_and_energy(self):
+        software = run(protocol="software", validate=False)
+        hatric = run(protocol="hatric", validate=False)
+        assert hatric.normalized_runtime(software) < 1.0
+        assert hatric.normalized_energy(software) < 1.05
+
+    def test_normalization_rejects_zero_baseline(self):
+        result = run(validate=False)
+        import copy
+
+        broken = copy.copy(result)
+        broken.stats.cpus[0].busy_cycles = 0
+        with pytest.raises(ValueError):
+            result.normalized_runtime(result.__class__(
+                config=result.config,
+                workload="x",
+                stats=type(result.stats)(1),
+                energy=result.energy,
+            ))
+
+
+class TestMultiprogrammed:
+    def test_per_app_cycles_reported(self):
+        mix = make_spec_mix(0, apps_per_mix=4)
+        config = small_config(num_cpus=4)
+        result = Simulator(config).run(mix, warmup_fraction=0.1, refs_total=8000)
+        assert len(result.per_app_cycles) == 4
+        assert all(cycles > 0 for cycles in result.per_app_cycles.values())
+
+
+class TestGuards:
+    def test_trace_larger_than_machine_rejected(self):
+        config = small_config(num_cpus=2)
+        mix = make_spec_mix(0, apps_per_mix=4)
+        trace = mix.generate(seed=1)
+        with pytest.raises(ValueError):
+            Simulator(config).run(trace)
+
+    def test_bad_warmup_fraction_rejected(self):
+        config = small_config()
+        with pytest.raises(ValueError):
+            Simulator(config).run(tiny_workload(), warmup_fraction=1.5)
+
+    def test_xen_hypervisor_configuration(self):
+        result = run(protocol="software", hypervisor="xen", validate=False)
+        assert result.runtime_cycles > 0

@@ -1,0 +1,122 @@
+"""Tests for TLBs, MMU caches and nested TLBs."""
+
+import pytest
+
+from repro.translation.structures import (
+    MMUCache,
+    NestedTLB,
+    TLB,
+    TranslationStructure,
+)
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        tlb = TLB("tlb", 4)
+        key = TLB.key_for(1, 0x10)
+        assert tlb.lookup(key) is None
+        tlb.insert(key, 0x99)
+        entry = tlb.lookup(key)
+        assert entry is not None
+        assert entry.value == 0x99
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_capacity_evicts_lru(self):
+        tlb = TLB("tlb", 2)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        tlb.lookup("a")  # refresh a; b becomes LRU
+        evicted = tlb.insert("c", 3)
+        assert evicted is not None
+        assert evicted.key == "b"
+        assert "a" in tlb and "c" in tlb and "b" not in tlb
+
+    def test_reinsert_updates_value_without_eviction(self):
+        tlb = TLB("tlb", 2)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        evicted = tlb.insert("a", 10)
+        assert evicted is None
+        assert tlb.lookup("a").value == 10
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TranslationStructure("x", 0)
+
+    def test_len_and_entries(self):
+        tlb = TLB("tlb", 8)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        assert len(tlb) == 2
+        assert {e.key for e in tlb.entries()} == {"a", "b"}
+
+
+class TestInvalidation:
+    def test_flush_removes_everything_and_counts(self):
+        tlb = TLB("tlb", 8)
+        for i in range(5):
+            tlb.insert(("vm", i), i)
+        dropped = tlb.flush()
+        assert dropped == 5
+        assert len(tlb) == 0
+        assert tlb.stats.flushes == 1
+        assert tlb.stats.flushed_entries == 5
+
+    def test_invalidate_key(self):
+        tlb = TLB("tlb", 8)
+        tlb.insert("a", 1)
+        assert tlb.invalidate_key("a")
+        assert not tlb.invalidate_key("a")
+        assert tlb.stats.invalidations == 1
+
+    def test_invalidate_matching_cotag_hits_all_matches(self):
+        tlb = TLB("tlb", 8)
+        tlb.insert("a", 1, cotag=0x12)
+        tlb.insert("b", 2, cotag=0x12)
+        tlb.insert("c", 3, cotag=0x34)
+        removed = tlb.invalidate_matching_cotag(0x12)
+        assert removed == 2
+        assert "c" in tlb
+        assert tlb.stats.cotag_searches == 1
+
+    def test_invalidate_matching_cotag_ignores_none(self):
+        tlb = TLB("tlb", 8)
+        tlb.insert("a", 1, cotag=None)
+        assert tlb.invalidate_matching_cotag(0) == 0
+        assert "a" in tlb
+
+    def test_invalidate_matching_line_is_precise(self):
+        tlb = TLB("tlb", 8)
+        tlb.insert("a", 1, cotag=5, pt_line=0x1000)
+        tlb.insert("b", 2, cotag=5, pt_line=0x2000)
+        removed = tlb.invalidate_matching_line(0x1000)
+        assert removed == 1
+        assert "b" in tlb and "a" not in tlb
+
+
+class TestKeyHelpers:
+    def test_tlb_keys_include_address_space(self):
+        assert TLB.key_for(1, 0x10) != TLB.key_for(2, 0x10)
+
+    def test_ntlb_keys(self):
+        assert NestedTLB.key_for(3, 0x77) == (3, 0x77)
+
+    def test_mmu_cache_keys_include_level(self):
+        assert MMUCache.key_for(1, 2, 0x5) != MMUCache.key_for(1, 3, 0x5)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        tlb = TLB("tlb", 4)
+        assert tlb.stats.hit_rate() == 0.0
+        tlb.insert("a", 1)
+        tlb.lookup("a")
+        tlb.lookup("missing")
+        assert tlb.stats.hit_rate() == pytest.approx(0.5)
+
+    def test_eviction_counted(self):
+        tlb = TLB("tlb", 1)
+        tlb.insert("a", 1)
+        tlb.insert("b", 2)
+        assert tlb.stats.evictions == 1

@@ -1,0 +1,125 @@
+"""Tests for the VM/process model and the per-CPU cache hierarchy."""
+
+import pytest
+
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.memory import TwoTierMemory
+
+from tests.conftest import build_machine, small_config
+
+
+class TestVirtualMachine:
+    def test_processes_get_unique_asids(self, machine):
+        first = machine.process
+        second = machine.vm.create_process()
+        assert first.vm_id != second.vm_id
+        assert second in machine.vm.processes
+
+    def test_guest_mapping_created_on_first_touch_only(self, machine):
+        process = machine.process
+        gpp_a = process.ensure_guest_mapping(0x51000)
+        gpp_b = process.ensure_guest_mapping(0x51000)
+        assert gpp_a == gpp_b
+        assert process.gpp_of(0x51000) == gpp_a
+        assert process.gpp_of(0x51001) is None
+
+    def test_guest_table_frames_are_backed_immediately(self, machine):
+        process = machine.process
+        process.ensure_guest_mapping(0x52000)
+        root_gpp = process.guest_root_gpp
+        assert process.nested_page_table.lookup(root_gpp) is not None
+
+    def test_processes_share_the_nested_page_table(self, machine):
+        second = machine.vm.create_process()
+        assert second.nested_page_table is machine.process.nested_page_table
+
+    def test_vcpu_pinning(self, machine):
+        assert machine.vm.num_vcpus == machine.config.num_cpus
+        assert machine.vm.pcpu_of(0) == 0
+
+    def test_two_vms_have_disjoint_asids(self, machine):
+        other_vm = machine.hypervisor.create_vm(vcpu_pcpus=[0, 1])
+        other_process = other_vm.create_process()
+        assert other_process.vm_id != machine.process.vm_id
+
+    def test_identical_gvas_in_different_processes_do_not_alias(self, machine):
+        """The multiprogrammed scenario: same GVA, different address spaces."""
+        first = machine.process
+        second = machine.vm.create_process()
+        gvp = 0x53000
+        spp_first = machine.touch(0, gvp)
+
+        core = machine.chip.core(0)
+        for _ in range(4):
+            outcome = core.translate(second, gvp)
+            if outcome.fault is None:
+                break
+            if outcome.fault == "guest":
+                second.ensure_guest_mapping(gvp)
+            else:
+                machine.hypervisor.handle_nested_fault(
+                    second, second.gpp_of(gvp), 0
+                )
+        assert outcome.fault is None
+        assert outcome.spp != spp_first
+
+
+class TestCacheHierarchy:
+    def make_hierarchy(self):
+        memory = TwoTierMemory(fast_frames=64, slow_frames=64, fast_latency=10, slow_latency=50)
+        l1 = Cache("l1", 1024, 2, latency=1)
+        l2 = Cache("l2", 4096, 4, latency=5)
+        llc = Cache("llc", 16384, 8, latency=20)
+        return CacheHierarchy(0, l1, l2, llc, memory), memory
+
+    def test_miss_costs_accumulate_down_the_hierarchy(self):
+        hierarchy, memory = self.make_hierarchy()
+        fast_spp = memory.fast.allocate()
+        spa = fast_spp << 12
+        cold = hierarchy.access(spa)
+        assert cold.level == "fast-mem"
+        assert cold.cycles == 1 + 5 + 20 + 10
+        warm = hierarchy.access(spa)
+        assert warm.level == "l1"
+        assert warm.cycles == 1
+
+    def test_slow_tier_costs_more(self):
+        hierarchy, memory = self.make_hierarchy()
+        slow_spp = memory.slow.allocate()
+        result = hierarchy.access(slow_spp << 12)
+        assert result.level == "slow-mem"
+        assert result.cycles == 1 + 5 + 20 + 50
+
+    def test_llc_hit_after_private_eviction(self):
+        hierarchy, memory = self.make_hierarchy()
+        spps = [memory.fast.allocate() for _ in range(40)]
+        # Touch two lines per page at varied offsets so the accesses spread
+        # across cache sets instead of all aliasing into set zero.
+        addresses = [
+            (spp << 12) | ((2 * i + j) % 64) * 64
+            for i, spp in enumerate(spps)
+            for j in range(2)
+        ]
+        for spa in addresses:
+            hierarchy.access(spa)
+        # The first line has long been evicted from the tiny L1/L2 but the
+        # larger LLC still holds it.
+        result = hierarchy.access(addresses[0])
+        assert result.level in ("llc", "l2")
+
+    def test_invalidate_line_removes_from_private_caches(self):
+        hierarchy, memory = self.make_hierarchy()
+        spa = memory.fast.allocate() << 12
+        hierarchy.access(spa)
+        line = hierarchy.l1.line_address(spa)
+        assert hierarchy.holds_line(line)
+        assert hierarchy.invalidate_line(line)
+        assert not hierarchy.holds_line(line)
+
+    def test_memory_access_counter(self):
+        hierarchy, memory = self.make_hierarchy()
+        spa = memory.fast.allocate() << 12
+        hierarchy.access(spa)
+        hierarchy.access(spa)
+        assert memory.fast.accesses == 1

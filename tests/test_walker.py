@@ -1,0 +1,118 @@
+"""Tests for the two-dimensional page table walker."""
+
+import pytest
+
+from repro.translation.address import cache_line_of
+from repro.translation.structures import TLB, MMUCache, NestedTLB
+
+from tests.conftest import build_machine, small_config
+
+
+@pytest.fixture
+def machine():
+    return build_machine(small_config())
+
+
+def walk_once(machine, cpu=0, gvp=0x40123, is_write=False):
+    """Map a page end-to-end and walk it directly through the walker."""
+    process = machine.process
+    process.ensure_guest_mapping(gvp)
+    gpp = process.gpp_of(gvp)
+    machine.hypervisor.handle_nested_fault(process, gpp, cpu)
+    core = machine.chip.core(cpu)
+    return core.walker.walk(process, gvp, is_write)
+
+
+class TestWalkMechanics:
+    def test_cold_walk_issues_24_references(self, machine):
+        """Figure 1: 5 nested walks of 4 steps plus 4 guest reads."""
+        result = walk_once(machine)
+        assert result.fault is None
+        assert result.memory_references == 24
+
+    def test_walk_returns_mapping_consistent_with_page_tables(self, machine):
+        gvp = 0x40777
+        result = walk_once(machine, gvp=gvp)
+        process = machine.process
+        gpp = process.gpp_of(gvp)
+        nested = process.nested_page_table.lookup(gpp)
+        assert result.gpp == gpp
+        assert result.spp == nested.pfn
+        assert result.nested_leaf_address == nested.address
+
+    def test_walk_fills_tlb_with_cotag_of_nested_leaf(self, machine):
+        gvp = 0x40555
+        result = walk_once(machine, gvp=gvp)
+        core = machine.chip.core(0)
+        entry = core.tlb_l1.lookup(TLB.key_for(machine.process.vm_id, gvp))
+        assert entry is not None
+        assert entry.value == result.spp
+        assert entry.pt_line == cache_line_of(result.nested_leaf_address)
+        assert entry.cotag is not None
+
+    def test_walk_fills_ntlb_and_mmu_cache(self, machine):
+        gvp = 0x40999
+        walk_once(machine, gvp=gvp)
+        core = machine.chip.core(0)
+        process = machine.process
+        gpp = process.gpp_of(gvp)
+        assert core.ntlb.lookup(NestedTLB.key_for(process.vm_id, gpp)) is not None
+        # The MMU cache holds the location of the level-1 guest table,
+        # tagged by the prefix that selects it (bits above the leaf index).
+        key = MMUCache.key_for(process.vm_id, 1, gvp >> 9)
+        assert core.mmu_cache.lookup(key) is not None
+
+    def test_second_walk_of_neighbour_page_is_much_cheaper(self, machine):
+        first = walk_once(machine, gvp=0x41000)
+        second = walk_once(machine, gvp=0x41001)
+        assert second.memory_references < first.memory_references
+        assert second.memory_references <= 5
+
+    def test_walk_sets_accessed_bits(self, machine):
+        gvp = 0x42000
+        walk_once(machine, gvp=gvp)
+        process = machine.process
+        gpp = process.gpp_of(gvp)
+        assert process.nested_page_table.lookup(gpp).accessed
+        assert process.guest_page_table.lookup(gvp).accessed
+
+    def test_write_walk_sets_dirty_bits(self, machine):
+        gvp = 0x43000
+        walk_once(machine, gvp=gvp, is_write=True)
+        process = machine.process
+        gpp = process.gpp_of(gvp)
+        assert process.nested_page_table.lookup(gpp).dirty
+        assert process.guest_page_table.lookup(gvp).dirty
+
+
+class TestFaults:
+    def test_guest_fault_when_gvp_unmapped(self, machine):
+        core = machine.chip.core(0)
+        result = core.walker.walk(machine.process, 0x90000)
+        assert result.fault == "guest"
+
+    def test_nested_fault_when_gpp_unmapped(self, machine):
+        process = machine.process
+        process.ensure_guest_mapping(0x91000)
+        core = machine.chip.core(0)
+        result = core.walker.walk(machine.process, 0x91000)
+        assert result.fault == "nested"
+        assert core.walker.stats.faults == 1
+
+
+class TestDirectoryIntegration:
+    def test_walk_registers_tlb_sharer_in_directory(self, machine):
+        gvp = 0x44000
+        result = walk_once(machine, cpu=2, gvp=gvp)
+        line = cache_line_of(result.nested_leaf_address)
+        assert 2 in machine.chip.directory.sharers_of(line)
+
+    def test_translate_gpp_helper(self, machine):
+        process = machine.process
+        process.ensure_guest_mapping(0x45000)
+        gpp = process.gpp_of(0x45000)
+        machine.hypervisor.handle_nested_fault(process, gpp, 0)
+        core = machine.chip.core(0)
+        result = core.walker.translate_gpp(process, gpp)
+        assert result.fault is None
+        assert result.spp == process.nested_page_table.lookup(gpp).pfn

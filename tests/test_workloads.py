@@ -1,0 +1,198 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.translation.address import PAGE_SHIFT
+from repro.workloads import (
+    PAPER_WORKLOAD_SPECS,
+    SMALL_WORKLOAD_SPECS,
+    WORKLOADS,
+    make_paper_workload,
+    make_small_workload,
+    make_workload,
+)
+from repro.workloads.base import Workload, WorkloadSpec, generate_stream
+from repro.workloads.spec_mix import (
+    APPS_PER_MIX,
+    SPEC_APP_SPECS,
+    all_mixes,
+    make_spec_mix,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="toy",
+        description="toy workload",
+        footprint_pages=100,
+        hot_pages=40,
+        cold_access_probability=0.05,
+        drift_pages=5,
+        phase_length_refs=200,
+        page_reuse=2,
+        sequential_fraction=0.1,
+        write_fraction=0.3,
+        refs_total=4000,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            small_spec(footprint_pages=0)
+        with pytest.raises(ValueError):
+            small_spec(hot_pages=0)
+        with pytest.raises(ValueError):
+            small_spec(hot_pages=1000)
+        with pytest.raises(ValueError):
+            small_spec(cold_access_probability=1.5)
+        with pytest.raises(ValueError):
+            small_spec(write_fraction=-0.1)
+        with pytest.raises(ValueError):
+            small_spec(page_reuse=0)
+
+    def test_scaled_refs(self):
+        spec = small_spec()
+        assert spec.scaled_refs(0.5).refs_total == spec.refs_total // 2
+        assert spec.scaled_refs(0.0).refs_total == 1
+
+
+class TestStreamGeneration:
+    def test_stream_length_and_types(self):
+        spec = small_spec()
+        rng = np.random.default_rng(1)
+        addresses, writes = generate_stream(spec, 1000, rng)
+        assert len(addresses) == len(writes) == 1000
+        assert addresses.dtype == np.int64
+        assert writes.dtype == bool
+
+    def test_addresses_stay_within_footprint(self):
+        spec = small_spec()
+        rng = np.random.default_rng(2)
+        addresses, _ = generate_stream(spec, 2000, rng)
+        pages = (addresses >> PAGE_SHIFT) - spec.base_page
+        assert pages.min() >= 0
+        assert pages.max() < spec.footprint_pages
+
+    def test_write_fraction_approximately_respected(self):
+        spec = small_spec(write_fraction=0.25)
+        rng = np.random.default_rng(3)
+        _, writes = generate_stream(spec, 20000, rng)
+        assert 0.2 < writes.mean() < 0.3
+
+    def test_deterministic_for_same_seed(self):
+        spec = small_spec()
+        a, _ = generate_stream(spec, 500, np.random.default_rng(7))
+        b, _ = generate_stream(spec, 500, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_empty_stream(self):
+        addresses, writes = generate_stream(small_spec(), 0, np.random.default_rng(0))
+        assert len(addresses) == 0 and len(writes) == 0
+
+    def test_hot_window_dominates_accesses(self):
+        spec = small_spec(cold_access_probability=0.01, drift_pages=0)
+        rng = np.random.default_rng(5)
+        addresses, _ = generate_stream(spec, 10000, rng)
+        pages = (addresses >> PAGE_SHIFT) - spec.base_page
+        in_hot = (pages < spec.hot_pages).mean()
+        assert in_hot > 0.9
+
+
+class TestWorkloadObjects:
+    def test_multithreaded_trace_shares_one_process(self):
+        workload = Workload(small_spec())
+        trace = workload.generate(num_vcpus=4, seed=1)
+        assert trace.num_vcpus == 4
+        assert trace.num_processes == 1
+        assert trace.process_of_vcpu == [0, 0, 0, 0]
+
+    def test_refs_split_across_threads(self):
+        workload = Workload(small_spec(refs_total=4000))
+        trace = workload.generate(num_vcpus=4, seed=1)
+        assert all(len(s) == 1000 for s in trace.streams)
+        assert trace.total_references == 4000
+
+    def test_refs_total_override(self):
+        workload = Workload(small_spec())
+        trace = workload.generate(num_vcpus=2, seed=1, refs_total=600)
+        assert trace.total_references == 600
+
+    def test_footprint_counts_distinct_pages(self):
+        workload = Workload(small_spec())
+        trace = workload.generate(num_vcpus=2, seed=1)
+        assert 0 < trace.footprint_pages() <= small_spec().footprint_pages
+
+
+class TestRegistries:
+    def test_paper_suite_members(self):
+        assert set(PAPER_WORKLOAD_SPECS) == {
+            "canneal",
+            "data_caching",
+            "graph500",
+            "tunkrank",
+            "facesim",
+        }
+
+    def test_make_workload_accepts_all_registry_names(self):
+        for name in WORKLOADS:
+            assert make_workload(name).name == name
+
+    def test_make_workload_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_workload("doom")
+
+    def test_paper_and_small_factories(self):
+        assert make_paper_workload("canneal").name == "canneal"
+        assert make_small_workload("swaptions").name == "swaptions"
+        with pytest.raises(ValueError):
+            make_paper_workload("swaptions")
+        with pytest.raises(ValueError):
+            make_small_workload("canneal")
+
+    def test_small_workloads_fit_in_die_stacked_tier(self):
+        from repro.sim.config import MemoryConfig
+
+        fast = MemoryConfig().fast_frames
+        for spec in SMALL_WORKLOAD_SPECS.values():
+            assert spec.footprint_pages < fast
+        for spec in PAPER_WORKLOAD_SPECS.values():
+            assert spec.footprint_pages > fast
+
+
+class TestSpecMixes:
+    def test_mix_has_one_process_per_app(self):
+        mix = make_spec_mix(0)
+        trace = mix.generate(seed=1)
+        assert trace.num_vcpus == APPS_PER_MIX
+        assert trace.num_processes == APPS_PER_MIX
+        assert trace.process_of_vcpu == list(range(APPS_PER_MIX))
+
+    def test_mixes_are_deterministic_and_distinct(self):
+        again = make_spec_mix(3)
+        assert [s.name for s in make_spec_mix(3).specs] == [
+            s.name for s in again.specs
+        ]
+        assert [s.name for s in make_spec_mix(3).specs] != [
+            s.name for s in make_spec_mix(4).specs
+        ]
+
+    def test_mix_apps_drawn_from_templates(self):
+        mix = make_spec_mix(7)
+        for spec in mix.specs:
+            template = spec.name.split(".")[0]
+            assert template in SPEC_APP_SPECS
+
+    def test_make_workload_parses_mix_names(self):
+        assert make_workload("mix05").name == "mix05"
+
+    def test_all_mixes_count(self):
+        assert len(all_mixes(count=5)) == 5
+
+    def test_mix_generate_respects_num_vcpus(self):
+        mix = make_spec_mix(1)
+        trace = mix.generate(num_vcpus=4, seed=1)
+        assert trace.num_vcpus == 4
