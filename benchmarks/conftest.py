@@ -6,6 +6,13 @@ traces by default; set ``REPRO_BENCH_SCALE=1.0`` (and
 ``REPRO_BENCH_FULL=1`` for the full parameter sweeps) to reproduce the
 numbers recorded in EXPERIMENTS.md.  Each benchmark writes the table it
 regenerates to ``benchmarks/results/<figure>.txt``.
+
+All benchmarks run through the process-global :class:`repro.api.Session`
+(the ``run_*`` harnesses default to it), so configurations shared
+between figures -- most notably the ``no-hbm`` baselines -- are
+simulated once for the whole suite instead of once per figure.  The
+dedup/memoization tally is written to
+``benchmarks/results/session_stats.txt`` at the end of the run.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import default_session
 from repro.experiments.runner import ExperimentScale
 
 #: Directory where regenerated tables are written.
@@ -47,3 +55,26 @@ def save_table(name: str, table: str) -> Path:
 def scale() -> ExperimentScale:
     """The benchmark trace scale."""
     return bench_scale()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_session():
+    """The session every benchmark's runs flow through.
+
+    Yields the process-global session and, once the whole benchmark
+    suite has finished, records how many simulations the dedup /
+    memoization machinery avoided.
+    """
+    session = default_session()
+    yield session
+    stats = session.stats
+    if stats.requested:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "session_stats.txt").write_text(
+            f"requested={stats.requested}\n"
+            f"executed={stats.executed}\n"
+            f"deduplicated={stats.deduplicated}\n"
+            f"memo_hits={stats.memo_hits}\n"
+            f"disk_hits={stats.disk_hits}\n"
+            f"simulations_avoided={stats.simulations_avoided}\n"
+        )

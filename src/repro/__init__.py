@@ -16,9 +16,20 @@ multi-core system with:
 
 The top-level namespace re-exports the pieces most users need; the
 experiments that regenerate each figure of the paper live under
-:mod:`repro.experiments`.
+:mod:`repro.experiments`, the declarative sweep/session engine under
+:mod:`repro.api`, and ``python -m repro`` runs either from the command
+line.
 """
 
+from repro.api import (
+    ExperimentScale,
+    ResultCache,
+    RunRequest,
+    Session,
+    Sweep,
+    SweepResult,
+    default_session,
+)
 from repro.sim.config import (
     CacheConfig,
     CoherenceDirectoryConfig,
@@ -36,21 +47,28 @@ from repro.core.protocol import (
 )
 from repro.workloads import WORKLOADS, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheConfig",
     "CoherenceDirectoryConfig",
     "CostModel",
+    "ExperimentScale",
     "MemoryConfig",
     "PagingConfig",
     "PROTOCOLS",
+    "ResultCache",
+    "RunRequest",
+    "Session",
     "SimulationResult",
     "Simulator",
+    "Sweep",
+    "SweepResult",
     "SystemConfig",
     "TranslationCoherenceProtocol",
     "TranslationConfig",
     "WORKLOADS",
+    "default_session",
     "make_workload",
     "make_protocol",
     "__version__",

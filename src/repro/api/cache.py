@@ -1,0 +1,174 @@
+"""On-disk result cache and result (de)serialization.
+
+Results are stored one JSON file per :attr:`RunRequest.cache_key` so
+they survive across processes and sessions.  The encoders rebuild real
+:class:`~repro.sim.simulator.SimulationResult` /
+:class:`~repro.sim.remap_anatomy.AnatomyRow` objects, so cached results
+are drop-in replacements for freshly simulated ones (normalization,
+event lookups and per-app accounting all keep working).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.api.request import config_from_dict, config_to_dict
+from repro.energy.model import EnergyBreakdown
+from repro.sim.remap_anatomy import AnatomyRow
+from repro.sim.simulator import SimulationResult
+from repro.sim.stats import CpuStats, EventCounter, MachineStats
+
+#: Either kind of result a session can produce.
+AnyResult = Union[SimulationResult, AnatomyRow]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location (``REPRO_CACHE_DIR`` wins)."""
+    override = os.environ.get(CACHE_DIR_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-hatric"
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization
+# ----------------------------------------------------------------------
+def _encode_stats(stats: MachineStats) -> dict[str, Any]:
+    return {
+        "num_cpus": stats.num_cpus,
+        "cpus": [dataclasses.asdict(cpu) for cpu in stats.cpus],
+        "events": dict(stats.events),
+        "background_cycles": stats.background_cycles,
+    }
+
+
+def _decode_stats(data: Mapping[str, Any]) -> MachineStats:
+    stats = MachineStats(data["num_cpus"])
+    stats.cpus = [CpuStats(**cpu) for cpu in data["cpus"]]
+    stats.events = EventCounter(data["events"])
+    stats.background_cycles = data["background_cycles"]
+    return stats
+
+
+def encode_result(result: AnyResult) -> dict[str, Any]:
+    """Serialize a simulation or anatomy result to JSON-compatible data."""
+    if isinstance(result, AnatomyRow):
+        return {"type": "anatomy", **dataclasses.asdict(result)}
+    return {
+        "type": "simulation",
+        "config": config_to_dict(result.config),
+        "workload": result.workload,
+        "stats": _encode_stats(result.stats),
+        "energy": {
+            "dynamic": result.energy.dynamic,
+            "static": result.energy.static,
+            "components": dict(result.energy.components),
+        },
+        "warmup_references": result.warmup_references,
+        "per_app_cycles": dict(result.per_app_cycles),
+    }
+
+
+def decode_result(data: Mapping[str, Any]) -> AnyResult:
+    """Rebuild a result from :func:`encode_result` output."""
+    kind = data.get("type")
+    if kind == "anatomy":
+        fields = {k: v for k, v in data.items() if k != "type"}
+        return AnatomyRow(**fields)
+    if kind != "simulation":
+        raise ValueError(f"unknown cached result type {kind!r}")
+    energy = data["energy"]
+    return SimulationResult(
+        config=config_from_dict(data["config"]),
+        workload=data["workload"],
+        stats=_decode_stats(data["stats"]),
+        energy=EnergyBreakdown(
+            dynamic=energy["dynamic"],
+            static=energy["static"],
+            components=dict(energy["components"]),
+        ),
+        warmup_references=data["warmup_references"],
+        per_app_cycles=dict(data["per_app_cycles"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# the cache itself
+# ----------------------------------------------------------------------
+class ResultCache:
+    """One-file-per-result JSON cache keyed by request cache keys."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = (
+            Path(directory).expanduser() if directory else default_cache_dir()
+        )
+
+    def path_for(self, key: str) -> Path:
+        """Cache file path for one key."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[AnyResult]:
+        """Return the cached result for ``key``, or None.
+
+        Corrupt or unreadable entries are treated as misses rather than
+        errors, so a truncated write never wedges the cache.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return decode_result(json.load(handle))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: AnyResult) -> Path:
+        """Store ``result`` under ``key`` (atomically) and return its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = json.dumps(encode_result(result))
+        # Write-then-rename so concurrent readers never see a torn file.
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        # Decode rather than stat so a torn/corrupt entry (which get()
+        # treats as a miss) is not reported as present.
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

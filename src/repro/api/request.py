@@ -1,0 +1,140 @@
+"""Declarative run requests with stable cache keys.
+
+A :class:`RunRequest` is the unit of work the :class:`repro.api.session.
+Session` engine executes, deduplicates and memoizes: a frozen, hashable
+value object naming one :class:`~repro.sim.config.SystemConfig`, one
+workload (by name, so requests stay picklable and serializable) and the
+trace-length / warmup knobs.  Two requests constructed independently
+from equal ingredients compare equal, hash equal and produce the same
+``cache_key``, which is what makes cross-figure result sharing work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.sim.config import (
+    CacheConfig,
+    CoherenceDirectoryConfig,
+    MemoryConfig,
+    PagingConfig,
+    SystemConfig,
+    TranslationConfig,
+)
+from repro.sim.costs import CostModel
+
+#: Experiment kinds a request can ask for: a trace-driven simulation or
+#: the single-remap anatomy microbenchmark (which needs no workload).
+EXPERIMENT_TRACE = "trace"
+EXPERIMENT_REMAP = "remap"
+EXPERIMENTS = (EXPERIMENT_TRACE, EXPERIMENT_REMAP)
+
+#: Bumped whenever the simulator changes in a way that invalidates
+#: previously cached results; part of every cache key.
+CACHE_SCHEMA_VERSION = 1
+
+_CONFIG_SECTIONS = {
+    "cache": CacheConfig,
+    "translation": TranslationConfig,
+    "memory": MemoryConfig,
+    "paging": PagingConfig,
+    "directory": CoherenceDirectoryConfig,
+    "costs": CostModel,
+}
+
+
+def config_to_dict(config: SystemConfig) -> dict[str, Any]:
+    """Serialize a :class:`SystemConfig` to plain JSON-compatible data."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output."""
+    kwargs: dict[str, Any] = dict(data)
+    for name, section_cls in _CONFIG_SECTIONS.items():
+        if name in kwargs and isinstance(kwargs[name], Mapping):
+            kwargs[name] = section_cls(**kwargs[name])
+    return SystemConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One deduplicatable, cacheable unit of simulation work.
+
+    Attributes:
+        config: the machine to simulate.
+        workload: workload name resolvable by
+            :func:`repro.workloads.make_workload` (``""`` for the remap
+            anatomy microbenchmark, which runs no trace).
+        warmup_fraction: fraction of every stream treated as warmup.
+        refs_total: total references to simulate (None = spec default).
+        experiment: ``"trace"`` or ``"remap"``.
+    """
+
+    config: SystemConfig
+    workload: str = ""
+    warmup_fraction: float = 0.2
+    refs_total: Optional[int] = None
+    experiment: str = EXPERIMENT_TRACE
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"experiment must be one of {EXPERIMENTS}, got {self.experiment!r}"
+            )
+        if self.experiment == EXPERIMENT_TRACE and not self.workload:
+            raise ValueError("a trace request needs a workload name")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.refs_total is not None and self.refs_total <= 0:
+            raise ValueError("refs_total must be positive when given")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to plain JSON-compatible data."""
+        return {
+            "config": config_to_dict(self.config),
+            "workload": self.workload,
+            "warmup_fraction": self.warmup_fraction,
+            "refs_total": self.refs_total,
+            "experiment": self.experiment,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRequest":
+        """Rebuild a request from :meth:`to_dict` output."""
+        return cls(
+            config=config_from_dict(data["config"]),
+            workload=data.get("workload", ""),
+            warmup_fraction=data.get("warmup_fraction", 0.2),
+            refs_total=data.get("refs_total"),
+            experiment=data.get("experiment", EXPERIMENT_TRACE),
+        )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def cache_key(self) -> str:
+        """Stable content hash identifying this request across processes.
+
+        Equal requests (even ones built independently from equal
+        configs) share a key; any differing field changes it.
+        """
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            payload = {"schema": CACHE_SCHEMA_VERSION, **self.to_dict()}
+            digest = hashlib.sha256(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+            ).hexdigest()
+            # frozen dataclass: stash the memo without going through
+            # __setattr__, which would raise FrozenInstanceError.
+            object.__setattr__(self, "_cache_key", digest)
+            cached = digest
+        return cached

@@ -1,0 +1,203 @@
+"""The session engine: dedup, memoization and parallel execution.
+
+A :class:`Session` executes batches of :class:`~repro.api.request.
+RunRequest` objects.  Identical requests (same cache key) are simulated
+exactly once per session; results are memoized in-process and,
+when a cache directory is configured, persisted as JSON on disk.
+Independent requests can be fanned out across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`; every simulation is
+fully seeded by its config, so parallel results are bit-identical to
+serial ones.
+
+The experiment harnesses all share one process-global default session
+(:func:`default_session`), which is where the cross-figure baseline
+sharing the paper's evaluation grid invites actually happens: the
+``no-hbm`` baseline of Figure 2 is the same request as the 16-vCPU
+baseline of Figures 7-9 and 13, and it runs once.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.api.cache import CACHE_DIR_ENV_VAR, AnyResult, ResultCache
+from repro.api.request import EXPERIMENT_REMAP, RunRequest
+from repro.sim.remap_anatomy import single_remap_cost
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.workloads import make_workload
+
+#: Environment variable globally enabling process fan-out (worker count).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def execute_request(request: RunRequest) -> AnyResult:
+    """Execute one request from scratch (no caching).
+
+    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it into worker processes.
+    """
+    if request.experiment == EXPERIMENT_REMAP:
+        return single_remap_cost(request.config)
+    workload = make_workload(request.workload)
+    simulator = Simulator(request.config)
+    return simulator.run(
+        workload,
+        warmup_fraction=request.warmup_fraction,
+        refs_total=request.refs_total,
+    )
+
+
+@dataclass
+class SessionStats:
+    """Where every request of a session ended up."""
+
+    #: requests handed to the session (including duplicates).
+    requested: int = 0
+    #: requests answered by another identical request in the same batch.
+    deduplicated: int = 0
+    #: requests answered from the in-process memo.
+    memo_hits: int = 0
+    #: requests answered from the on-disk cache.
+    disk_hits: int = 0
+    #: requests actually simulated.
+    executed: int = 0
+
+    @property
+    def simulations_avoided(self) -> int:
+        """Runs that would have happened without the session machinery."""
+        return self.deduplicated + self.memo_hits + self.disk_hits
+
+
+class Session:
+    """Executes run requests with dedup, caching and optional parallelism.
+
+    Args:
+        cache_dir: directory for the on-disk JSON result cache.  None
+            (the default) disables disk caching; pass ``True`` to use
+            the default location (``~/.cache/repro-hatric`` or
+            ``$REPRO_CACHE_DIR``).
+        max_workers: worker processes for batch execution.  None or <= 1
+            runs serially in-process.  Results are identical either way.
+        executor: the function that turns a request into a result;
+            overridable for testing/instrumentation.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[None, bool, str, Path] = None,
+        max_workers: Optional[int] = None,
+        executor: Callable[[RunRequest], AnyResult] = execute_request,
+    ) -> None:
+        if cache_dir is True:
+            self.disk_cache: Optional[ResultCache] = ResultCache()
+        elif cache_dir:
+            self.disk_cache = ResultCache(cache_dir)
+        else:
+            self.disk_cache = None
+        self.max_workers = max_workers
+        self.executor = executor
+        self.stats = SessionStats()
+        self._memo: dict[str, AnyResult] = {}
+
+    # ------------------------------------------------------------------
+    # running requests
+    # ------------------------------------------------------------------
+    def run(self, request: RunRequest) -> AnyResult:
+        """Execute (or recall) a single request."""
+        return self.run_batch([request])[0]
+
+    def run_batch(self, requests: Sequence[RunRequest]) -> list[AnyResult]:
+        """Execute a batch, returning results aligned with the input order.
+
+        Duplicate requests within the batch are simulated once; requests
+        seen before by this session (or present in the disk cache) are
+        not simulated at all.
+        """
+        requests = list(requests)
+        self.stats.requested += len(requests)
+
+        # Resolve what each unique key needs, preserving first-seen order.
+        pending: dict[str, RunRequest] = {}
+        for request in requests:
+            key = request.cache_key
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if key in pending:
+                self.stats.deduplicated += 1
+                continue
+            if self.disk_cache is not None:
+                cached = self.disk_cache.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.disk_hits += 1
+                    continue
+            pending[key] = request
+
+        if pending:
+            self._execute_pending(pending)
+        return [self._memo[request.cache_key] for request in requests]
+
+    def _execute_pending(self, pending: dict[str, RunRequest]) -> None:
+        keys = list(pending)
+        todo = [pending[key] for key in keys]
+        if self.max_workers is not None and self.max_workers > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(self.executor, todo))
+        else:
+            results = [self.executor(request) for request in todo]
+        for key, result in zip(keys, results):
+            self._memo[key] = result
+            self.stats.executed += 1
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, result)
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def __contains__(self, request: RunRequest) -> bool:
+        key = request.cache_key
+        if key in self._memo:
+            return True
+        return self.disk_cache is not None and key in self.disk_cache
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def forget(self, requests: Optional[Iterable[RunRequest]] = None) -> None:
+        """Drop memoized results (all of them when ``requests`` is None)."""
+        if requests is None:
+            self._memo.clear()
+            return
+        for request in requests:
+            self._memo.pop(request.cache_key, None)
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-global session the experiment harnesses share.
+
+    Honours ``REPRO_JOBS`` (worker processes) and ``REPRO_CACHE_DIR``
+    (which also switches the disk cache on) at first use.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        jobs = os.environ.get(JOBS_ENV_VAR)
+        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR)
+        _DEFAULT_SESSION = Session(
+            cache_dir=cache_dir or None,
+            max_workers=int(jobs) if jobs else None,
+        )
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> None:
+    """Discard the process-global session (mainly for tests)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = None

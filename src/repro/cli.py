@@ -1,0 +1,347 @@
+"""Command-line front-end: ``python -m repro``.
+
+Runs any figure of the paper or an arbitrary declarative sweep through
+the :mod:`repro.api` engine, prints the table the figure encodes, and
+optionally exports JSON.  Examples::
+
+    python -m repro list
+    python -m repro figure2 --scale 0.05
+    python -m repro figure7 --workloads canneal,facesim --json
+    python -m repro figure10 --mixes 4 --apps-per-mix 8 --jobs 4
+    python -m repro sweep --axis protocol=software,hatric,ideal \\
+        --axis workload=canneal,facesim \\
+        --normalize protocol=ideal --normalize placement=slow-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Optional, Sequence
+
+from repro import __version__
+from repro.api import ExperimentScale, Session, Sweep, SweepResult
+from repro.experiments import (
+    format_anatomy,
+    format_figure2,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_figure11_left,
+    format_figure11_right,
+    format_figure12,
+    format_figure13,
+    format_xen_study,
+    run_anatomy,
+    run_figure2,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11_left,
+    run_figure11_right,
+    run_figure12,
+    run_figure13,
+    run_xen_study,
+)
+from repro.experiments.runner import baseline_config
+from repro.workloads import WORKLOADS
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureSpec:
+    """How to run and render one figure from the command line."""
+
+    run: Callable[..., Any]
+    fmt: Callable[[Any], str]
+    description: str
+    #: which generic CLI options this figure's run function accepts.
+    params: tuple[str, ...] = ("workloads", "num_cpus", "scale", "session")
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "figure2": FigureSpec(
+        run_figure2, format_figure2, "cost of software translation coherence"
+    ),
+    "figure7": FigureSpec(run_figure7, format_figure7, "runtime vs vCPU count"),
+    "figure8": FigureSpec(run_figure8, format_figure8, "runtime vs paging policy"),
+    "figure9": FigureSpec(
+        run_figure9, format_figure9, "translation structure size sensitivity"
+    ),
+    "figure10": FigureSpec(
+        run_figure10,
+        format_figure10,
+        "multiprogrammed SPEC mixes",
+        params=("mixes", "apps_per_mix", "scale", "session"),
+    ),
+    "figure11-left": FigureSpec(
+        run_figure11_left,
+        format_figure11_left,
+        "performance-energy scatter (HATRIC vs software)",
+        params=("num_cpus", "scale", "session"),
+    ),
+    "figure11-right": FigureSpec(
+        run_figure11_right,
+        format_figure11_right,
+        "co-tag width sweep",
+        params=("workloads", "num_cpus", "scale", "session"),
+    ),
+    "figure12": FigureSpec(
+        run_figure12, format_figure12, "coherence directory ablation"
+    ),
+    "figure13": FigureSpec(run_figure13, format_figure13, "HATRIC vs UNITD++"),
+    "anatomy": FigureSpec(
+        run_anatomy,
+        format_anatomy,
+        "single page remap cost breakdown",
+        params=("num_cpus", "session"),
+    ),
+    "xen": FigureSpec(
+        run_xen_study, format_xen_study, "Xen case study"
+    ),
+}
+
+
+def _parse_axis_value(raw: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_key_values(pairs: Sequence[str], option: str) -> dict[str, Any]:
+    parsed: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key or not value:
+            raise SystemExit(f"error: {option} expects KEY=VALUE, got {pair!r}")
+        parsed[key] = _parse_axis_value(value)
+    return parsed
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="trace-length multiplier (default: REPRO_EXPERIMENT_SCALE or 1.0)",
+    )
+    common.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan runs out across N worker processes (results are identical)",
+    )
+    common.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist results as JSON under DIR and reuse them across runs",
+    )
+    common.add_argument(
+        "--json", action="store_true", help="print JSON instead of a table"
+    )
+    common.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the printed output to PATH",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures of the HATRIC paper or run custom sweeps.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list figures and workloads")
+
+    for name, spec in FIGURES.items():
+        sub = subparsers.add_parser(name, parents=[common], help=spec.description)
+        if "workloads" in spec.params:
+            sub.add_argument(
+                "--workloads",
+                default=None,
+                metavar="A,B,...",
+                help="comma-separated workload names (default: the paper's suite)",
+            )
+        if "num_cpus" in spec.params:
+            sub.add_argument(
+                "--num-cpus", type=int, default=None, metavar="N", help="vCPU count"
+            )
+        if "mixes" in spec.params:
+            sub.add_argument(
+                "--mixes", type=int, default=None, metavar="N", help="number of mixes"
+            )
+        if "apps_per_mix" in spec.params:
+            sub.add_argument(
+                "--apps-per-mix",
+                type=int,
+                default=None,
+                metavar="N",
+                help="applications (vCPUs) per mix",
+            )
+
+    sweep = subparsers.add_parser(
+        "sweep", parents=[common], help="run an arbitrary declarative sweep"
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,...",
+        help="one sweep axis; NAME is 'workload' or a SystemConfig field "
+        "(protocol, placement, hypervisor, num_cpus, ...); repeatable",
+    )
+    sweep.add_argument(
+        "--normalize",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="normalize each point to the sibling with NAME overridden; repeatable",
+    )
+    sweep.add_argument(
+        "--num-cpus",
+        type=int,
+        default=16,
+        metavar="N",
+        help="vCPU count of the base system (default 16)",
+    )
+    sweep.add_argument(
+        "--hypervisor",
+        default="kvm",
+        choices=("kvm", "xen"),
+        help="hypervisor of the base system",
+    )
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    return Session(cache_dir=args.cache_dir, max_workers=args.jobs)
+
+
+def _scale_from_args(args: argparse.Namespace) -> Optional[ExperimentScale]:
+    if args.scale is None:
+        return None
+    return ExperimentScale(trace_scale=args.scale)
+
+
+def _run_list() -> str:
+    lines = ["figures:"]
+    width = max(len(name) for name in FIGURES)
+    for name, spec in FIGURES.items():
+        lines.append(f"  {name:<{width}}  {spec.description}")
+    lines.append("")
+    lines.append("workloads:")
+    lines.append("  " + ", ".join(sorted(WORKLOADS)))
+    lines.append("  mixNN / mixNNxM (multiprogrammed SPEC mixes)")
+    return "\n".join(lines)
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> str:
+    spec = FIGURES[name]
+    kwargs: dict[str, Any] = {"session": _session_from_args(args)}
+    if "scale" in spec.params:
+        kwargs["scale"] = _scale_from_args(args)
+    elif args.scale is not None:
+        raise ValueError(
+            f"{name} does not take --scale (it runs no workload trace)"
+        )
+    if "workloads" in spec.params and args.workloads:
+        kwargs["workloads"] = tuple(
+            w.strip() for w in args.workloads.split(",") if w.strip()
+        )
+    if "num_cpus" in spec.params and args.num_cpus is not None:
+        kwargs["num_cpus"] = args.num_cpus
+    if "mixes" in spec.params and args.mixes is not None:
+        kwargs["num_mixes"] = args.mixes
+    if "apps_per_mix" in spec.params and args.apps_per_mix is not None:
+        kwargs["apps_per_mix"] = args.apps_per_mix
+    result = spec.run(**kwargs)
+    if args.json:
+        return json.dumps(
+            {"figure": name, "result": dataclasses.asdict(result)}, indent=2
+        )
+    return spec.fmt(result)
+
+
+def _format_sweep_table(grid: SweepResult) -> str:
+    axis_names = list(grid.axes)
+    normalized = any(cell.baseline is not None for cell in grid.cells)
+    columns = axis_names + ["runtime_cycles"] + (
+        ["normalized_runtime", "normalized_energy"] if normalized else []
+    )
+    rows = []
+    for cell in grid.cells:
+        row = [str(cell.coords[name]) for name in axis_names]
+        row.append(f"{cell.result.runtime_cycles}")
+        if normalized:
+            row.append(f"{cell.normalized_runtime:.4f}")
+            row.append(f"{cell.normalized_energy:.4f}")
+        rows.append(row)
+    widths = [
+        max(len(column), max((len(r[i]) for r in rows), default=0))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    axes: dict[str, tuple] = {}
+    for raw in args.axis:
+        name, sep, values = raw.partition("=")
+        if not sep or not name or not values:
+            raise SystemExit(f"error: --axis expects NAME=V1,V2,..., got {raw!r}")
+        axes[name] = tuple(
+            _parse_axis_value(v.strip()) for v in values.split(",") if v.strip()
+        )
+    sweep = Sweep(
+        axes=axes,
+        base=baseline_config(num_cpus=args.num_cpus, hypervisor=args.hypervisor),
+    )
+    overrides = _parse_key_values(args.normalize, "--normalize")
+    if overrides:
+        sweep = sweep.normalize_to(**overrides)
+    grid = sweep.run(session=_session_from_args(args), scale=_scale_from_args(args))
+    if args.json:
+        return json.dumps(grid.to_dict(), indent=2)
+    return _format_sweep_table(grid)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            text = _run_list()
+            _emit(text, None)
+            return 0
+        if args.command == "sweep":
+            text = _run_sweep(args)
+        else:
+            text = _run_figure(args.command, args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _emit(text, args.output)
+    return 0

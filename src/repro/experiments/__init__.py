@@ -1,11 +1,14 @@
 """Experiment harnesses regenerating every figure of the paper.
 
-Each module exposes a ``run_*`` function returning a result dataclass
-with the same rows/series the corresponding figure reports, plus a
-``format_*`` helper producing the table printed by the benchmarks and
-examples.  All experiments accept a ``scale`` parameter that shrinks the
-trace length so they can run quickly in CI; the recorded numbers in
-EXPERIMENTS.md use ``scale=1.0``.
+Each module declares its figure as a :class:`repro.api.Sweep` (or, for
+the remap anatomy, a batch of :class:`repro.api.RunRequest`) and exposes
+a ``run_*`` function returning a result dataclass with the same
+rows/series the corresponding figure reports, plus a ``format_*`` helper
+producing the table printed by the benchmarks and examples.  All
+experiments accept a ``scale`` parameter that shrinks the trace length
+so they can run quickly in CI, and a ``session`` parameter so figures
+sharing configurations (notably the ``no-hbm`` baselines) reuse each
+other's runs; by default they share the process-global session.
 """
 
 from repro.experiments.runner import (
@@ -13,24 +16,27 @@ from repro.experiments.runner import (
     baseline_config,
     run_configuration,
 )
-from repro.experiments.figure2 import run_figure2, format_figure2
-from repro.experiments.figure7 import run_figure7, format_figure7
-from repro.experiments.figure8 import run_figure8, format_figure8
-from repro.experiments.figure9 import run_figure9, format_figure9
-from repro.experiments.figure10 import run_figure10, format_figure10
+from repro.experiments.figure2 import run_figure2, format_figure2, sweep_figure2
+from repro.experiments.figure7 import run_figure7, format_figure7, sweep_figure7
+from repro.experiments.figure8 import run_figure8, format_figure8, sweep_figure8
+from repro.experiments.figure9 import run_figure9, format_figure9, sweep_figure9
+from repro.experiments.figure10 import run_figure10, format_figure10, sweep_figure10
 from repro.experiments.figure11 import (
     run_figure11_left,
     run_figure11_right,
     format_figure11_left,
     format_figure11_right,
+    sweep_figure11_left,
+    sweep_figure11_right,
 )
-from repro.experiments.figure12 import run_figure12, format_figure12
-from repro.experiments.figure13 import run_figure13, format_figure13
-from repro.experiments.xen_study import run_xen_study, format_xen_study
-from repro.experiments.anatomy import run_anatomy, format_anatomy
+from repro.experiments.figure12 import run_figure12, format_figure12, sweep_figure12
+from repro.experiments.figure13 import run_figure13, format_figure13, sweep_figure13
+from repro.experiments.xen_study import run_xen_study, format_xen_study, sweep_xen_study
+from repro.experiments.anatomy import anatomy_requests, run_anatomy, format_anatomy
 
 __all__ = [
     "ExperimentScale",
+    "anatomy_requests",
     "baseline_config",
     "format_anatomy",
     "format_figure10",
@@ -55,4 +61,14 @@ __all__ = [
     "run_figure8",
     "run_figure9",
     "run_xen_study",
+    "sweep_figure10",
+    "sweep_figure11_left",
+    "sweep_figure11_right",
+    "sweep_figure12",
+    "sweep_figure13",
+    "sweep_figure2",
+    "sweep_figure7",
+    "sweep_figure8",
+    "sweep_figure9",
+    "sweep_xen_study",
 ]

@@ -1,0 +1,39 @@
+"""Shared dict-indexed lookup for the per-figure result dataclasses.
+
+Every figure result holds an append-only list of row/cell objects and
+offers a keyed accessor.  This helper backs those accessors with a
+lazily built dict index (O(1) lookups instead of linear scans) that is
+rebuilt whenever rows were appended since the last build or the
+requested key is absent, so a stale index can never hide a row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+Row = TypeVar("Row")
+
+
+def indexed_lookup(
+    owner: Any,
+    rows: Sequence[Row],
+    key_of: Callable[[Row], Any],
+    key: Any,
+) -> Row:
+    """Return the row of ``rows`` whose ``key_of(row)`` equals ``key``.
+
+    The index is cached on ``owner`` (a plain attribute, invisible to
+    ``dataclasses.asdict``).  Rows are expected to be append-only;
+    replacing a row in place with another carrying the same key keeps
+    serving the old object until rows are appended.
+
+    Raises ``KeyError(key)`` when no row matches.
+    """
+    index = owner.__dict__.get("_index")
+    if index is None or len(index) != len(rows) or key not in index:
+        index = {key_of(row): row for row in rows}
+        owner._index = index
+    try:
+        return index[key]
+    except KeyError:
+        raise KeyError(key) from None

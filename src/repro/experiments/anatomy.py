@@ -7,6 +7,11 @@ translation structure entries get invalidated versus flushed, and how
 many cycles land on the initiator and on the targets.  It reproduces the
 paper's qualitative claims -- thousands of cycles per software shootdown
 spread over all vCPUs versus a handful of directory messages for HATRIC.
+
+The microbenchmark itself lives in :mod:`repro.sim.remap_anatomy`; this
+module declares the per-protocol comparison as a batch of
+:class:`~repro.api.request.RunRequest` objects executed (and therefore
+deduplicated and cached) through a :class:`~repro.api.session.Session`.
 """
 
 from __future__ import annotations
@@ -14,29 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.protocol import RemapEvent, make_protocol
-from repro.core.cotag import CoTagScheme
-from repro.cpu.chip import Chip
+from repro.api import RunRequest, Session, default_session
+from repro.experiments._grid import indexed_lookup
 from repro.sim.config import SystemConfig
-from repro.sim.stats import MachineStats
-from repro.virt.kvm import KvmHypervisor
+from repro.sim.remap_anatomy import AnatomyRow
+
+__all__ = [
+    "ANATOMY_PROTOCOLS",
+    "AnatomyResult",
+    "AnatomyRow",
+    "format_anatomy",
+    "run_anatomy",
+]
 
 #: Mechanisms compared by the microbenchmark.
 ANATOMY_PROTOCOLS = ("software", "unitd", "hatric", "ideal")
-
-
-@dataclass
-class AnatomyRow:
-    """Cost breakdown of one remap under one mechanism."""
-
-    protocol: str
-    initiator_cycles: int
-    total_target_cycles: int
-    max_target_cycles: int
-    ipis: int
-    vm_exits: int
-    entries_invalidated: int
-    entries_flushed: int
 
 
 @dataclass
@@ -47,75 +44,32 @@ class AnatomyResult:
     rows: list[AnatomyRow] = field(default_factory=list)
 
     def row(self, protocol: str) -> AnatomyRow:
-        """Return the row for one mechanism."""
-        for row in self.rows:
-            if row.protocol == protocol:
-                return row
-        raise KeyError(protocol)
+        """Return the row for one mechanism (dict-indexed)."""
+        return indexed_lookup(self, self.rows, lambda r: r.protocol, protocol)
 
 
-def _single_remap_cost(protocol_name: str, num_cpus: int) -> AnatomyRow:
-    config = SystemConfig(num_cpus=num_cpus, protocol=protocol_name)
-    protocol = make_protocol(protocol_name)
-    stats = MachineStats(num_cpus)
-    cotag_scheme = (
-        CoTagScheme(config.translation.cotag_bytes) if protocol.uses_cotags else None
-    )
-    chip = Chip(
-        config,
-        stats,
-        cotag_scheme=cotag_scheme,
-        track_translation_sharers=protocol.tracks_translation_sharers,
-    )
-    protocol.bind(chip, stats, config.costs)
-    hypervisor = KvmHypervisor(chip, config, protocol, stats)
-    vm = hypervisor.create_vm(vcpu_pcpus=list(range(num_cpus)))
-    process = vm.create_process()
-
-    # Every CPU touches the same page so all of them cache its translation.
-    gvp = 0x40000
-    gpp = process.ensure_guest_mapping(gvp)
-    hypervisor.handle_nested_fault(process, gpp, cpu=0)
-    for cpu in range(num_cpus):
-        outcome = chip.core(cpu).translate(process, gvp)
-        assert outcome.fault is None
-
-    resident_before = chip.total_resident_translations()
-    leaf = process.nested_page_table.lookup(gpp)
-    event = RemapEvent(
-        initiator_cpu=0,
-        target_cpus=vm.target_cpus,
-        gpp=gpp,
-        old_spp=leaf.pfn,
-        new_spp=None,
-        pte_address=leaf.address,
-        vm_id=vm.vm_id,
-    )
-    cost = protocol.on_nested_remap(event)
-    resident_after = chip.total_resident_translations()
-
-    events = stats.events
-    return AnatomyRow(
-        protocol=protocol_name,
-        initiator_cycles=cost.initiator_cycles,
-        total_target_cycles=sum(cost.target_cycles.values()),
-        max_target_cycles=max(cost.target_cycles.values(), default=0),
-        ipis=events.get("coherence.ipis", 0),
-        vm_exits=events.get("coherence.vm_exits", 0),
-        entries_invalidated=resident_before - resident_after,
-        entries_flushed=events.get("coherence.flushed_entries", 0)
-        + events.get("unitd.flushed_entries", 0),
-    )
+def anatomy_requests(
+    protocols: Sequence[str] = ANATOMY_PROTOCOLS, num_cpus: int = 16
+) -> list[RunRequest]:
+    """The remap-anatomy request batch, one request per mechanism."""
+    return [
+        RunRequest(
+            config=SystemConfig(num_cpus=num_cpus, protocol=protocol),
+            experiment="remap",
+        )
+        for protocol in protocols
+    ]
 
 
 def run_anatomy(
-    protocols: Sequence[str] = ANATOMY_PROTOCOLS, num_cpus: int = 16
+    protocols: Sequence[str] = ANATOMY_PROTOCOLS,
+    num_cpus: int = 16,
+    session: Optional[Session] = None,
 ) -> AnatomyResult:
     """Run the single-remap microbenchmark for every mechanism."""
-    result = AnatomyResult(num_cpus=num_cpus)
-    for name in protocols:
-        result.rows.append(_single_remap_cost(name, num_cpus))
-    return result
+    session = session if session is not None else default_session()
+    rows = session.run_batch(anatomy_requests(protocols, num_cpus))
+    return AnatomyResult(num_cpus=num_cpus, rows=list(rows))
 
 
 def format_anatomy(result: AnatomyResult) -> str:

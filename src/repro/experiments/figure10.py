@@ -22,19 +22,32 @@ often runs 2x slower, while HATRIC improves every single mix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional
 
-from repro.experiments.runner import (
-    ExperimentScale,
-    baseline_config,
-    no_hbm_config,
-    run_configuration,
-)
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments.runner import baseline_config
+from repro.sim.config import PLACEMENT_PAGED, PLACEMENT_SLOW_ONLY, SystemConfig
 from repro.sim.simulator import SimulationResult
-from repro.workloads.spec_mix import APPS_PER_MIX, NUM_MIXES, make_spec_mix
+from repro.workloads.spec_mix import APPS_PER_MIX, NUM_MIXES
 
 FIGURE10_SERIES = ("sw", "hatric")
 _PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric"}
+
+
+def _mix_name(index: int, apps_per_mix: int) -> str:
+    """Workload name of one mix, resolvable by ``make_workload``."""
+    if apps_per_mix == APPS_PER_MIX:
+        return f"mix{index:02d}"
+    return f"mix{index}x{apps_per_mix}"
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    series = coords["series"]
+    if series == "no-hbm":
+        return config.replace(protocol="ideal", placement=PLACEMENT_SLOW_ONLY)
+    return config.replace(
+        protocol=_PROTOCOL_OF_SERIES[series], placement=PLACEMENT_PAGED
+    )
 
 
 @dataclass
@@ -84,34 +97,41 @@ def _per_app_normalized(
     return ratios
 
 
+def sweep_figure10(
+    num_mixes: int = NUM_MIXES, apps_per_mix: int = APPS_PER_MIX
+) -> Sweep:
+    """The declarative sweep behind Figure 10."""
+    return Sweep(
+        axes={
+            "workload": tuple(
+                _mix_name(index, apps_per_mix) for index in range(num_mixes)
+            ),
+            "series": FIGURE10_SERIES,
+        },
+        base=baseline_config(apps_per_mix),
+        configure=_configure,
+    ).normalize_to(series="no-hbm")
+
+
 def run_figure10(
     num_mixes: int = NUM_MIXES,
     apps_per_mix: int = APPS_PER_MIX,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure10Result:
     """Regenerate Figure 10 over ``num_mixes`` mixes."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure10(num_mixes, apps_per_mix).run(session=session, scale=scale)
     result = Figure10Result()
-    for index in range(num_mixes):
-        mix = make_spec_mix(index, apps_per_mix=apps_per_mix)
-        baseline = run_configuration(no_hbm_config(apps_per_mix), mix, scale)
-        for series in FIGURE10_SERIES:
-            run = run_configuration(
-                baseline_config(
-                    apps_per_mix, protocol=_PROTOCOL_OF_SERIES[series]
-                ),
-                mix,
-                scale,
+    for cell in grid:
+        ratios = _per_app_normalized(cell.result, cell.baseline)
+        result.outcomes.append(
+            MixOutcome(
+                mix=cell.result.workload,
+                series=cell.coords["series"],
+                weighted_runtime=sum(ratios) / len(ratios),
+                slowest_runtime=max(ratios),
             )
-            ratios = _per_app_normalized(run, baseline)
-            result.outcomes.append(
-                MixOutcome(
-                    mix=mix.name,
-                    series=series,
-                    weighted_runtime=sum(ratios) / len(ratios),
-                    slowest_runtime=max(ratios),
-                )
-            )
+        )
     return result
 
 

@@ -16,16 +16,13 @@ buy little performance for noticeably more energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    run_configuration,
-)
-from repro.sim.config import TranslationConfig
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import SystemConfig, TranslationConfig
 from repro.workloads.suite import SMALL_WORKLOAD_SPECS
 
 #: Small-footprint workloads included in the left panel.
@@ -38,6 +35,38 @@ COTAG_SIZES = (1, 2, 3)
 #: memory to build superpages, which is the residual remap activity the
 #: paper says HATRIC also helps with.
 _SMALL_WORKLOAD_DEFRAG_INTERVAL = 3000
+
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric"}
+
+
+def _configure_left(small_workloads: Sequence[str]):
+    """Build the left panel's configure hook for one workload split.
+
+    The defrag-interval override must follow the caller's
+    ``small_workloads`` argument, not the module-level suite constant.
+    """
+    small = frozenset(small_workloads)
+
+    def configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+        config = config.replace(protocol=_PROTOCOL_OF_SERIES[coords["series"]])
+        if coords["workload"] in small:
+            config = config.replace(
+                paging=replace(
+                    config.paging, defrag_interval=_SMALL_WORKLOAD_DEFRAG_INTERVAL
+                )
+            )
+        return config
+
+    return configure
+
+
+def _configure_right(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    cotag = coords["cotag"]
+    if cotag == "sw":
+        return config.replace(protocol="software")
+    return config.replace(
+        protocol="hatric", translation=TranslationConfig(cotag_bytes=cotag)
+    )
 
 
 @dataclass
@@ -77,11 +106,26 @@ class Figure11RightResult:
     cells: list[Figure11RightCell] = field(default_factory=list)
 
     def cell(self, cotag_bytes: int) -> Figure11RightCell:
-        """Return the cell for a co-tag width."""
-        for cell in self.cells:
-            if cell.cotag_bytes == cotag_bytes:
-                return cell
-        raise KeyError(cotag_bytes)
+        """Return the cell for a co-tag width (dict-indexed)."""
+        return indexed_lookup(
+            self, self.cells, lambda c: c.cotag_bytes, cotag_bytes
+        )
+
+
+def sweep_figure11_left(
+    big_workloads: Sequence[str] = PAPER_WORKLOADS,
+    small_workloads: Sequence[str] = SMALL_WORKLOADS,
+    num_cpus: int = 16,
+) -> Sweep:
+    """The declarative sweep behind the left panel."""
+    return Sweep(
+        axes={
+            "workload": tuple(big_workloads) + tuple(small_workloads),
+            "series": ("hatric",),
+        },
+        base=baseline_config(num_cpus),
+        configure=_configure_left(small_workloads),
+    ).normalize_to(series="sw")
 
 
 def run_figure11_left(
@@ -89,38 +133,37 @@ def run_figure11_left(
     small_workloads: Sequence[str] = SMALL_WORKLOADS,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure11LeftResult:
     """Regenerate the left panel of Figure 11."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure11_left(big_workloads, small_workloads, num_cpus).run(
+        session=session, scale=scale
+    )
     result = Figure11LeftResult()
-    for name, paged in [(w, True) for w in big_workloads] + [
-        (w, False) for w in small_workloads
-    ]:
-        overrides = {}
-        if not paged:
-            paging = baseline_config(num_cpus).paging
-            overrides["paging"] = paging.__class__(
-                policy=paging.policy,
-                migration_daemon=paging.migration_daemon,
-                daemon_free_target=paging.daemon_free_target,
-                prefetch_pages=paging.prefetch_pages,
-                defrag_interval=_SMALL_WORKLOAD_DEFRAG_INTERVAL,
-            )
-        software = run_configuration(
-            baseline_config(num_cpus, protocol="software", **overrides), name, scale
-        )
-        hatric = run_configuration(
-            baseline_config(num_cpus, protocol="hatric", **overrides), name, scale
-        )
+    for name in tuple(big_workloads) + tuple(small_workloads):
+        cell = grid.cell(workload=name, series="hatric")
         result.points.append(
             Figure11Point(
                 workload=name,
-                paged=paged,
-                relative_runtime=hatric.normalized_runtime(software),
-                relative_energy=hatric.normalized_energy(software),
+                paged=name in tuple(big_workloads),
+                relative_runtime=cell.normalized_runtime,
+                relative_energy=cell.normalized_energy,
             )
         )
     return result
+
+
+def sweep_figure11_right(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    cotag_sizes: Sequence[int] = COTAG_SIZES,
+    num_cpus: int = 16,
+) -> Sweep:
+    """The declarative sweep behind the right panel."""
+    return Sweep(
+        axes={"workload": tuple(workloads), "cotag": tuple(cotag_sizes)},
+        base=baseline_config(num_cpus),
+        configure=_configure_right,
+    ).normalize_to(cotag="sw")
 
 
 def run_figure11_right(
@@ -128,33 +171,22 @@ def run_figure11_right(
     cotag_sizes: Sequence[int] = COTAG_SIZES,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure11RightResult:
     """Regenerate the right panel of Figure 11."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure11_right(workloads, cotag_sizes, num_cpus).run(
+        session=session, scale=scale
+    )
     result = Figure11RightResult()
-    baselines = {
-        name: run_configuration(
-            baseline_config(num_cpus, protocol="software"), name, scale
-        )
-        for name in workloads
-    }
     for size in cotag_sizes:
-        runtimes = []
-        energies = []
-        for name in workloads:
-            config = baseline_config(
-                num_cpus,
-                protocol="hatric",
-                translation=TranslationConfig(cotag_bytes=size),
-            )
-            run = run_configuration(config, name, scale)
-            runtimes.append(run.normalized_runtime(baselines[name]))
-            energies.append(run.normalized_energy(baselines[name]))
+        cells = [grid.cell(workload=name, cotag=size) for name in workloads]
         result.cells.append(
             Figure11RightCell(
                 cotag_bytes=size,
-                relative_runtime=sum(runtimes) / len(runtimes),
-                relative_energy=sum(energies) / len(energies),
+                relative_runtime=sum(c.normalized_runtime for c in cells)
+                / len(cells),
+                relative_energy=sum(c.normalized_energy for c in cells)
+                / len(cells),
             )
         )
     return result

@@ -20,15 +20,12 @@ variants cost energy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    run_configuration,
-)
-from repro.sim.config import CoherenceDirectoryConfig
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import CoherenceDirectoryConfig, SystemConfig
 
 #: Design points in figure order.
 FIGURE12_DESIGNS = (
@@ -59,6 +56,13 @@ def _directory_for(design: str) -> CoherenceDirectoryConfig:
     raise ValueError(f"unknown figure-12 design {design!r}")
 
 
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    design = coords["design"]
+    if design == "sw":
+        return config.replace(protocol="software")
+    return config.replace(protocol="hatric", directory=_directory_for(design))
+
+
 @dataclass
 class Figure12Cell:
     """Average runtime/energy of one design, normalized to sw."""
@@ -75,11 +79,23 @@ class Figure12Result:
     cells: list[Figure12Cell] = field(default_factory=list)
 
     def cell(self, design: str) -> Figure12Cell:
-        """Return the cell for one design point."""
-        for cell in self.cells:
-            if cell.design == design:
-                return cell
-        raise KeyError(design)
+        """Return the cell for one design point (dict-indexed)."""
+        return indexed_lookup(self, self.cells, lambda c: c.design, design)
+
+
+def sweep_figure12(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    designs: Sequence[str] = FIGURE12_DESIGNS,
+    num_cpus: int = 16,
+) -> Sweep:
+    """The declarative sweep behind Figure 12."""
+    for design in designs:
+        _directory_for(design)  # reject unknown designs before running
+    return Sweep(
+        axes={"workload": tuple(workloads), "design": tuple(designs)},
+        base=baseline_config(num_cpus),
+        configure=_configure,
+    ).normalize_to(design="sw")
 
 
 def run_figure12(
@@ -87,31 +103,22 @@ def run_figure12(
     designs: Sequence[str] = FIGURE12_DESIGNS,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure12Result:
     """Regenerate Figure 12."""
-    scale = scale or ExperimentScale.from_environment()
-    baselines = {
-        name: run_configuration(
-            baseline_config(num_cpus, protocol="software"), name, scale
-        )
-        for name in workloads
-    }
+    grid = sweep_figure12(workloads, designs, num_cpus).run(
+        session=session, scale=scale
+    )
     result = Figure12Result()
     for design in designs:
-        runtimes = []
-        energies = []
-        for name in workloads:
-            config = baseline_config(
-                num_cpus, protocol="hatric", directory=_directory_for(design)
-            )
-            run = run_configuration(config, name, scale)
-            runtimes.append(run.normalized_runtime(baselines[name]))
-            energies.append(run.normalized_energy(baselines[name]))
+        cells = [grid.cell(workload=name, design=design) for name in workloads]
         result.cells.append(
             Figure12Cell(
                 design=design,
-                relative_runtime=sum(runtimes) / len(runtimes),
-                relative_energy=sum(energies) / len(energies),
+                relative_runtime=sum(c.normalized_runtime for c in cells)
+                / len(cells),
+                relative_energy=sum(c.normalized_energy for c in cells)
+                / len(cells),
             )
         )
     return result

@@ -12,18 +12,24 @@ system without die-stacked DRAM, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    no_hbm_config,
-    run_configuration,
-)
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import PLACEMENT_PAGED, PLACEMENT_SLOW_ONLY, SystemConfig
 
 FIGURE13_SERIES = ("sw", "unitd++", "hatric")
 _PROTOCOL_OF_SERIES = {"sw": "software", "unitd++": "unitd", "hatric": "hatric"}
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    series = coords["series"]
+    if series == "no-hbm":
+        protocol, placement = "ideal", PLACEMENT_SLOW_ONLY
+    else:
+        protocol, placement = _PROTOCOL_OF_SERIES[series], PLACEMENT_PAGED
+    return config.replace(protocol=protocol, placement=placement)
 
 
 @dataclass
@@ -43,37 +49,44 @@ class Figure13Result:
     cells: list[Figure13Cell] = field(default_factory=list)
 
     def value(self, workload: str, series: str) -> Figure13Cell:
-        """Return the cell for one workload/mechanism pair."""
-        for cell in self.cells:
-            if cell.workload == workload and cell.series == series:
-                return cell
-        raise KeyError((workload, series))
+        """Return the cell for one workload/mechanism pair (O(1))."""
+        return indexed_lookup(
+            self,
+            self.cells,
+            lambda c: (c.workload, c.series),
+            (workload, series),
+        )
+
+
+def sweep_figure13(
+    workloads: Sequence[str] = PAPER_WORKLOADS, num_cpus: int = 16
+) -> Sweep:
+    """The declarative sweep behind Figure 13."""
+    return Sweep(
+        axes={"workload": tuple(workloads), "series": FIGURE13_SERIES},
+        base=baseline_config(num_cpus),
+        configure=_configure,
+    ).normalize_to(series="no-hbm")
 
 
 def run_figure13(
     workloads: Sequence[str] = PAPER_WORKLOADS,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure13Result:
     """Regenerate Figure 13."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure13(workloads, num_cpus).run(session=session, scale=scale)
     result = Figure13Result()
-    for name in workloads:
-        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
-        for series in FIGURE13_SERIES:
-            run = run_configuration(
-                baseline_config(num_cpus, protocol=_PROTOCOL_OF_SERIES[series]),
-                name,
-                scale,
+    for cell in grid:
+        result.cells.append(
+            Figure13Cell(
+                workload=cell.coords["workload"],
+                series=cell.coords["series"],
+                normalized_runtime=cell.normalized_runtime,
+                normalized_energy=cell.normalized_energy,
             )
-            result.cells.append(
-                Figure13Cell(
-                    workload=name,
-                    series=series,
-                    normalized_runtime=run.normalized_runtime(baseline),
-                    normalized_energy=run.normalized_energy(baseline),
-                )
-            )
+        )
     return result
 
 

@@ -20,19 +20,33 @@ percent of the infinite-capacity bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    inf_hbm_config,
-    no_hbm_config,
-    run_configuration,
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import (
+    PLACEMENT_FAST_ONLY,
+    PLACEMENT_PAGED,
+    PLACEMENT_SLOW_ONLY,
+    SystemConfig,
 )
 
 #: Bars plotted per workload, in figure order.
 FIGURE2_SERIES = ("no-hbm", "inf-hbm", "curr-best", "achievable")
+
+#: (protocol, placement) of each bar.
+_SERIES_CONFIG = {
+    "no-hbm": ("ideal", PLACEMENT_SLOW_ONLY),
+    "inf-hbm": ("ideal", PLACEMENT_FAST_ONLY),
+    "curr-best": ("software", PLACEMENT_PAGED),
+    "achievable": ("ideal", PLACEMENT_PAGED),
+}
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    protocol, placement = _SERIES_CONFIG[coords["series"]]
+    return config.replace(protocol=protocol, placement=placement)
 
 
 @dataclass
@@ -56,37 +70,38 @@ class Figure2Result:
 
     def row(self, workload: str) -> Figure2Row:
         """Return the row for a workload."""
-        for row in self.rows:
-            if row.workload == workload:
-                return row
-        raise KeyError(workload)
+        return indexed_lookup(self, self.rows, lambda r: r.workload, workload)
+
+
+def sweep_figure2(
+    workloads: Sequence[str] = PAPER_WORKLOADS, num_cpus: int = 16
+) -> Sweep:
+    """The declarative sweep behind Figure 2."""
+    return Sweep(
+        axes={"workload": tuple(workloads), "series": FIGURE2_SERIES},
+        base=baseline_config(num_cpus),
+        configure=_configure,
+    ).normalize_to(series="no-hbm")
 
 
 def run_figure2(
     workloads: Sequence[str] = PAPER_WORKLOADS,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure2Result:
     """Regenerate Figure 2."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure2(workloads, num_cpus).run(session=session, scale=scale)
     result = Figure2Result()
     for name in workloads:
-        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
-        infinite = run_configuration(inf_hbm_config(num_cpus), name, scale)
-        current = run_configuration(
-            baseline_config(num_cpus, protocol="software"), name, scale
-        )
-        achievable = run_configuration(
-            baseline_config(num_cpus, protocol="ideal"), name, scale
-        )
         row = Figure2Row(workload=name)
         row.normalized_runtime = {
-            "no-hbm": 1.0,
-            "inf-hbm": infinite.normalized_runtime(baseline),
-            "curr-best": current.normalized_runtime(baseline),
-            "achievable": achievable.normalized_runtime(baseline),
+            series: grid.value(workload=name, series=series)
+            for series in FIGURE2_SERIES
         }
-        row.evictions = current.events.get("paging.evictions", 0)
+        row.evictions = grid.result(workload=name, series="curr-best").events.get(
+            "paging.evictions", 0
+        )
         result.rows.append(row)
     return result
 

@@ -12,15 +12,12 @@ with fewer vCPUs for flush-sensitive ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    no_hbm_config,
-    run_configuration,
-)
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import PLACEMENT_PAGED, PLACEMENT_SLOW_ONLY, SystemConfig
 
 #: vCPU counts swept by the figure.
 VCPU_COUNTS = (4, 8, 16)
@@ -28,6 +25,17 @@ VCPU_COUNTS = (4, 8, 16)
 FIGURE7_SERIES = ("sw", "hatric", "ideal")
 
 _PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric", "ideal": "ideal"}
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    series = coords["series"]
+    if series == "no-hbm":
+        protocol, placement = "ideal", PLACEMENT_SLOW_ONLY
+    else:
+        protocol, placement = _PROTOCOL_OF_SERIES[series], PLACEMENT_PAGED
+    return config.replace(
+        num_cpus=coords["vcpus"], protocol=protocol, placement=placement
+    )
 
 
 @dataclass
@@ -47,42 +55,50 @@ class Figure7Result:
     cells: list[Figure7Cell] = field(default_factory=list)
 
     def value(self, workload: str, vcpus: int, series: str) -> float:
-        """Normalized runtime of one bar."""
-        for cell in self.cells:
-            if (
-                cell.workload == workload
-                and cell.vcpus == vcpus
-                and cell.series == series
-            ):
-                return cell.normalized_runtime
-        raise KeyError((workload, vcpus, series))
+        """Normalized runtime of one bar (dict-indexed, O(1))."""
+        cell = indexed_lookup(
+            self,
+            self.cells,
+            lambda c: (c.workload, c.vcpus, c.series),
+            (workload, vcpus, series),
+        )
+        return cell.normalized_runtime
+
+
+def sweep_figure7(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    vcpu_counts: Sequence[int] = VCPU_COUNTS,
+) -> Sweep:
+    """The declarative sweep behind Figure 7."""
+    return Sweep(
+        axes={
+            "workload": tuple(workloads),
+            "vcpus": tuple(vcpu_counts),
+            "series": FIGURE7_SERIES,
+        },
+        base=baseline_config(),
+        configure=_configure,
+    ).normalize_to(series="no-hbm")
 
 
 def run_figure7(
     workloads: Sequence[str] = PAPER_WORKLOADS,
     vcpu_counts: Sequence[int] = VCPU_COUNTS,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure7Result:
     """Regenerate Figure 7."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure7(workloads, vcpu_counts).run(session=session, scale=scale)
     result = Figure7Result()
-    for name in workloads:
-        for vcpus in vcpu_counts:
-            baseline = run_configuration(no_hbm_config(vcpus), name, scale)
-            for series in FIGURE7_SERIES:
-                run = run_configuration(
-                    baseline_config(vcpus, protocol=_PROTOCOL_OF_SERIES[series]),
-                    name,
-                    scale,
-                )
-                result.cells.append(
-                    Figure7Cell(
-                        workload=name,
-                        vcpus=vcpus,
-                        series=series,
-                        normalized_runtime=run.normalized_runtime(baseline),
-                    )
-                )
+    for cell in grid:
+        result.cells.append(
+            Figure7Cell(
+                workload=cell.coords["workload"],
+                vcpus=cell.coords["vcpus"],
+                series=cell.coords["series"],
+                normalized_runtime=cell.normalized_runtime,
+            )
+        )
     return result
 
 

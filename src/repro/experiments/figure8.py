@@ -11,16 +11,12 @@ both improves every policy and lets the policy improvements show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    no_hbm_config,
-    paging_config,
-    run_configuration,
-)
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config, paging_config
+from repro.sim.config import PLACEMENT_PAGED, PLACEMENT_SLOW_ONLY, SystemConfig
 
 #: Paging policies in figure order.
 FIGURE8_POLICIES = ("lru", "mig-dmn", "pref")
@@ -37,6 +33,19 @@ def _paging_for(policy: str):
     if policy == "pref":
         return paging_config(policy="lru", migration_daemon=True, prefetch_pages=2)
     raise ValueError(f"unknown figure-8 policy {policy!r}")
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    series = coords["series"]
+    if series == "no-hbm":
+        protocol, placement = "ideal", PLACEMENT_SLOW_ONLY
+    else:
+        protocol, placement = _PROTOCOL_OF_SERIES[series], PLACEMENT_PAGED
+    return config.replace(
+        protocol=protocol,
+        placement=placement,
+        paging=_paging_for(coords["policy"]),
+    )
 
 
 @dataclass
@@ -56,15 +65,36 @@ class Figure8Result:
     cells: list[Figure8Cell] = field(default_factory=list)
 
     def value(self, workload: str, policy: str, series: str) -> float:
-        """Normalized runtime of one bar."""
-        for cell in self.cells:
-            if (
-                cell.workload == workload
-                and cell.policy == policy
-                and cell.series == series
-            ):
-                return cell.normalized_runtime
-        raise KeyError((workload, policy, series))
+        """Normalized runtime of one bar (dict-indexed, O(1))."""
+        cell = indexed_lookup(
+            self,
+            self.cells,
+            lambda c: (c.workload, c.policy, c.series),
+            (workload, policy, series),
+        )
+        return cell.normalized_runtime
+
+
+def sweep_figure8(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    policies: Sequence[str] = FIGURE8_POLICIES,
+    num_cpus: int = 16,
+) -> Sweep:
+    """The declarative sweep behind Figure 8.
+
+    The baseline pins ``policy="pref"`` (the default paging
+    configuration) as well as the series, so every policy column
+    shares one baseline run per workload.
+    """
+    return Sweep(
+        axes={
+            "workload": tuple(workloads),
+            "policy": tuple(policies),
+            "series": FIGURE8_SERIES,
+        },
+        base=baseline_config(num_cpus),
+        configure=_configure,
+    ).normalize_to(series="no-hbm", policy="pref")
 
 
 def run_figure8(
@@ -72,28 +102,22 @@ def run_figure8(
     policies: Sequence[str] = FIGURE8_POLICIES,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure8(workloads, policies, num_cpus).run(
+        session=session, scale=scale
+    )
     result = Figure8Result()
-    for name in workloads:
-        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
-        for policy in policies:
-            for series in FIGURE8_SERIES:
-                config = baseline_config(
-                    num_cpus,
-                    protocol=_PROTOCOL_OF_SERIES[series],
-                    paging=_paging_for(policy),
-                )
-                run = run_configuration(config, name, scale)
-                result.cells.append(
-                    Figure8Cell(
-                        workload=name,
-                        policy=policy,
-                        series=series,
-                        normalized_runtime=run.normalized_runtime(baseline),
-                    )
-                )
+    for cell in grid:
+        result.cells.append(
+            Figure8Cell(
+                workload=cell.coords["workload"],
+                policy=cell.coords["policy"],
+                series=cell.coords["series"],
+                normalized_runtime=cell.normalized_runtime,
+            )
+        )
     return result
 
 

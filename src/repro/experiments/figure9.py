@@ -11,22 +11,36 @@ structures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    PAPER_WORKLOADS,
-    ExperimentScale,
-    baseline_config,
-    no_hbm_config,
-    run_configuration,
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import PAPER_WORKLOADS, baseline_config
+from repro.sim.config import (
+    PLACEMENT_PAGED,
+    PLACEMENT_SLOW_ONLY,
+    SystemConfig,
+    TranslationConfig,
 )
-from repro.sim.config import TranslationConfig
 
 #: Structure size multipliers swept by the figure.
 SIZE_SCALES = (1, 2, 4)
 FIGURE9_SERIES = ("sw", "hatric", "ideal")
 
 _PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric", "ideal": "ideal"}
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    series = coords["series"]
+    if series == "no-hbm":
+        protocol, placement = "ideal", PLACEMENT_SLOW_ONLY
+    else:
+        protocol, placement = _PROTOCOL_OF_SERIES[series], PLACEMENT_PAGED
+    return config.replace(
+        protocol=protocol,
+        placement=placement,
+        translation=TranslationConfig().scaled(coords["size_scale"]),
+    )
 
 
 @dataclass
@@ -46,15 +60,31 @@ class Figure9Result:
     cells: list[Figure9Cell] = field(default_factory=list)
 
     def value(self, workload: str, size_scale: int, series: str) -> float:
-        """Normalized runtime of one bar."""
-        for cell in self.cells:
-            if (
-                cell.workload == workload
-                and cell.size_scale == size_scale
-                and cell.series == series
-            ):
-                return cell.normalized_runtime
-        raise KeyError((workload, size_scale, series))
+        """Normalized runtime of one bar (dict-indexed, O(1))."""
+        cell = indexed_lookup(
+            self,
+            self.cells,
+            lambda c: (c.workload, c.size_scale, c.series),
+            (workload, size_scale, series),
+        )
+        return cell.normalized_runtime
+
+
+def sweep_figure9(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    size_scales: Sequence[int] = SIZE_SCALES,
+    num_cpus: int = 16,
+) -> Sweep:
+    """The declarative sweep behind Figure 9 (baseline: no-hbm at 1x)."""
+    return Sweep(
+        axes={
+            "workload": tuple(workloads),
+            "size_scale": tuple(size_scales),
+            "series": FIGURE9_SERIES,
+        },
+        base=baseline_config(num_cpus),
+        configure=_configure,
+    ).normalize_to(series="no-hbm", size_scale=1)
 
 
 def run_figure9(
@@ -62,29 +92,22 @@ def run_figure9(
     size_scales: Sequence[int] = SIZE_SCALES,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_figure9(workloads, size_scales, num_cpus).run(
+        session=session, scale=scale
+    )
     result = Figure9Result()
-    for name in workloads:
-        baseline = run_configuration(no_hbm_config(num_cpus), name, scale)
-        for size_scale in size_scales:
-            translation = TranslationConfig().scaled(size_scale)
-            for series in FIGURE9_SERIES:
-                config = baseline_config(
-                    num_cpus,
-                    protocol=_PROTOCOL_OF_SERIES[series],
-                    translation=translation,
-                )
-                run = run_configuration(config, name, scale)
-                result.cells.append(
-                    Figure9Cell(
-                        workload=name,
-                        size_scale=size_scale,
-                        series=series,
-                        normalized_runtime=run.normalized_runtime(baseline),
-                    )
-                )
+    for cell in grid:
+        result.cells.append(
+            Figure9Cell(
+                workload=cell.coords["workload"],
+                size_scale=cell.coords["size_scale"],
+                series=cell.coords["series"],
+                normalized_runtime=cell.normalized_runtime,
+            )
+        )
     return result
 
 

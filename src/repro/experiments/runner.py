@@ -9,10 +9,9 @@ and the scaling knob that lets benchmarks run shortened traces.
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.scale import SCALE_ENV_VAR, ExperimentScale
 from repro.sim.config import (
     PLACEMENT_FAST_ONLY,
     PLACEMENT_PAGED,
@@ -24,43 +23,19 @@ from repro.sim.simulator import SimulationResult, Simulator
 from repro.workloads import make_workload
 from repro.workloads.base import MultiprogrammedWorkload, Workload
 
+__all__ = [
+    "ExperimentScale",
+    "PAPER_WORKLOADS",
+    "SCALE_ENV_VAR",
+    "baseline_config",
+    "inf_hbm_config",
+    "no_hbm_config",
+    "paging_config",
+    "run_configuration",
+]
+
 #: The five big-memory workloads every per-workload figure sweeps.
 PAPER_WORKLOADS = ("canneal", "data_caching", "graph500", "tunkrank", "facesim")
-
-#: Environment variable that globally scales experiment trace lengths
-#: (e.g. ``REPRO_EXPERIMENT_SCALE=0.25`` for quick benchmark runs).
-SCALE_ENV_VAR = "REPRO_EXPERIMENT_SCALE"
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Scaling knobs applied uniformly to an experiment.
-
-    Attributes:
-        trace_scale: multiplier on each workload's total references.
-        warmup_fraction: fraction of every stream treated as warmup.
-    """
-
-    trace_scale: float = 1.0
-    warmup_fraction: float = 0.2
-
-    @classmethod
-    def from_environment(cls) -> "ExperimentScale":
-        """Build a scale from ``REPRO_EXPERIMENT_SCALE`` (default 1.0)."""
-        raw = os.environ.get(SCALE_ENV_VAR)
-        if not raw:
-            return cls()
-        return cls(trace_scale=float(raw))
-
-    def refs_for(self, workload: Workload | MultiprogrammedWorkload) -> Optional[int]:
-        """Total references to simulate for ``workload`` (None = spec default)."""
-        if self.trace_scale == 1.0:
-            return None
-        if isinstance(workload, MultiprogrammedWorkload):
-            total = sum(spec.refs_total for spec in workload.specs)
-        else:
-            total = workload.spec.refs_total
-        return max(1000, int(total * self.trace_scale))
 
 
 def baseline_config(

@@ -11,16 +11,22 @@ hypervisor-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
-from repro.experiments.runner import (
-    ExperimentScale,
-    baseline_config,
-    run_configuration,
-)
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments._grid import indexed_lookup
+from repro.experiments.runner import baseline_config
+from repro.sim.config import SystemConfig
 
 #: Workloads the paper evaluated on Xen.
 XEN_WORKLOADS = ("canneal", "data_caching")
+
+XEN_SERIES = ("sw", "hatric")
+_PROTOCOL_OF_SERIES = {"sw": "software", "hatric": "hatric"}
+
+
+def _configure(config: SystemConfig, coords: Mapping[str, Any]) -> SystemConfig:
+    return config.replace(protocol=_PROTOCOL_OF_SERIES[coords["series"]])
 
 
 @dataclass
@@ -46,37 +52,40 @@ class XenStudyResult:
     rows: list[XenRow] = field(default_factory=list)
 
     def row(self, workload: str) -> XenRow:
-        """Return the row for one workload."""
-        for row in self.rows:
-            if row.workload == workload:
-                return row
-        raise KeyError(workload)
+        """Return the row for one workload (dict-indexed)."""
+        return indexed_lookup(self, self.rows, lambda r: r.workload, workload)
+
+
+def sweep_xen_study(
+    workloads: Sequence[str] = XEN_WORKLOADS, num_cpus: int = 16
+) -> Sweep:
+    """The declarative sweep behind the Xen case study (raw runtimes)."""
+    return Sweep(
+        axes={"workload": tuple(workloads), "series": XEN_SERIES},
+        base=baseline_config(num_cpus, hypervisor="xen"),
+        configure=_configure,
+    )
 
 
 def run_xen_study(
     workloads: Sequence[str] = XEN_WORKLOADS,
     num_cpus: int = 16,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> XenStudyResult:
     """Regenerate the Xen case study."""
-    scale = scale or ExperimentScale.from_environment()
+    grid = sweep_xen_study(workloads, num_cpus).run(session=session, scale=scale)
     result = XenStudyResult()
     for name in workloads:
-        software = run_configuration(
-            baseline_config(num_cpus, protocol="software", hypervisor="xen"),
-            name,
-            scale,
-        )
-        hatric = run_configuration(
-            baseline_config(num_cpus, protocol="hatric", hypervisor="xen"),
-            name,
-            scale,
-        )
         result.rows.append(
             XenRow(
                 workload=name,
-                software_runtime=software.runtime_cycles,
-                hatric_runtime=hatric.runtime_cycles,
+                software_runtime=grid.result(
+                    workload=name, series="sw"
+                ).runtime_cycles,
+                hatric_runtime=grid.result(
+                    workload=name, series="hatric"
+                ).runtime_cycles,
             )
         )
     return result

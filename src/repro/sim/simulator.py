@@ -298,10 +298,19 @@ class Simulator:
         self.chip.reset_statistics()
 
     def _per_app_cycles(self, trace: WorkloadTrace) -> dict[str, int]:
-        """Per-application busy cycles for multiprogrammed traces."""
+        """Per-application busy cycles for multiprogrammed traces.
+
+        Applications are labelled with the real per-vCPU workload names
+        carried by the trace, falling back to positional labels for
+        traces built before the names were recorded.
+        """
         if trace.num_processes <= 1:
             return {}
         per_app: dict[str, int] = {}
         for cpu in range(trace.num_vcpus):
-            per_app[f"app{cpu:02d}"] = self.stats.cpus[cpu].busy_cycles
+            if trace.app_names is not None and cpu < len(trace.app_names):
+                name = trace.app_names[cpu]
+            else:
+                name = f"app{cpu:02d}"
+            per_app[name] = self.stats.cpus[cpu].busy_cycles
         return per_app

@@ -32,13 +32,26 @@ WORKLOADS: dict[str, WorkloadSpec] = {
 
 
 def make_workload(name: str) -> Workload:
-    """Build any named workload (paper suite or small-footprint suite)."""
+    """Build any named workload.
+
+    Accepts the paper suite and small-footprint suite by name, plus
+    multiprogrammed SPEC mixes as ``mixNN`` (16 applications, the
+    paper's shape) or ``mixNNxM`` (``M`` applications, used by
+    scaled-down runs).
+    """
     if name in WORKLOADS:
         return Workload(WORKLOADS[name])
     if name.startswith("mix"):
-        index = int(name[3:])
-        return make_spec_mix(index)
-    known = ", ".join(sorted(WORKLOADS)) + ", mixNN"
+        index_part, sep, apps_part = name[3:].partition("x")
+        if not (sep and not apps_part):  # reject a trailing "x" with no count
+            try:
+                index = int(index_part)
+                apps = int(apps_part) if apps_part else APPS_PER_MIX
+            except ValueError:
+                pass
+            else:
+                return make_spec_mix(index, apps_per_mix=apps)
+    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM"
     raise ValueError(f"unknown workload {name!r}; known: {known}")
 
 

@@ -96,6 +96,9 @@ class WorkloadTrace:
             (all zeros for a multithreaded workload; one process per vCPU
             for multiprogrammed mixes).
         num_processes: number of distinct guest processes.
+        app_names: per-vCPU application names for multiprogrammed
+            traces (None for multithreaded workloads, where every vCPU
+            runs the same application).
     """
 
     name: str
@@ -103,6 +106,7 @@ class WorkloadTrace:
     writes: list[np.ndarray]
     process_of_vcpu: list[int]
     num_processes: int
+    app_names: Optional[list[str]] = None
 
     @property
     def num_vcpus(self) -> int:
@@ -261,6 +265,7 @@ class MultiprogrammedWorkload:
             writes=writes,
             process_of_vcpu=list(range(len(specs))),
             num_processes=len(specs),
+            app_names=[spec.name for spec in specs],
         )
 
     @property

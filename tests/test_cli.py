@@ -1,0 +1,163 @@
+"""Smoke and parity tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentScale, Session
+from repro.cli import main
+from repro.experiments import run_figure7
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_module(*args: str) -> subprocess.CompletedProcess:
+    """Invoke ``python -m repro`` in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "canneal" in out
+
+    def test_figure_table(self, capsys):
+        code = main(
+            ["figure2", "--workloads", "facesim", "--num-cpus", "4", "--scale", "0.03"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "facesim" in out
+        assert "curr-best" in out
+
+    def test_figure_json_and_output_file(self, capsys, tmp_path):
+        target = tmp_path / "figure2.json"
+        code = main(
+            [
+                "figure2",
+                "--workloads",
+                "facesim",
+                "--num-cpus",
+                "4",
+                "--scale",
+                "0.03",
+                "--json",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["figure"] == "figure2"
+        row = printed["result"]["rows"][0]
+        assert row["workload"] == "facesim"
+        assert row["normalized_runtime"]["no-hbm"] == 1.0
+        assert json.loads(target.read_text()) == printed
+
+    def test_module_smoke(self):
+        """``python -m repro figure2 --scale 0.05 --json`` runs end to end."""
+        proc = run_module(
+            "figure2",
+            "--scale",
+            "0.05",
+            "--json",
+            "--workloads",
+            "facesim",
+            "--num-cpus",
+            "4",
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["figure"] == "figure2"
+
+    def test_figure7_cli_matches_direct_call(self, capsys):
+        """CLI output equals the library call at the same scale (acceptance)."""
+        code = main(
+            [
+                "figure7",
+                "--workloads",
+                "facesim",
+                "--scale",
+                "0.05",
+                "--json",
+            ]
+        )
+        assert code == 0
+        cells = json.loads(capsys.readouterr().out)["result"]["cells"]
+        direct = run_figure7(
+            workloads=["facesim"],
+            scale=ExperimentScale(trace_scale=0.05),
+            session=Session(),
+        )
+        assert cells
+        for cell in cells:
+            assert direct.value(
+                cell["workload"], cell["vcpus"], cell["series"]
+            ) == pytest.approx(cell["normalized_runtime"], abs=1e-12)
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--axis",
+                "protocol=software,hatric",
+                "--axis",
+                "workload=facesim",
+                "--num-cpus",
+                "4",
+                "--scale",
+                "0.03",
+                "--normalize",
+                "protocol=ideal",
+                "--normalize",
+                "placement=slow-only",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["axes"]["protocol"] == ["software", "hatric"]
+        assert all("normalized_runtime" in cell for cell in payload["cells"])
+
+    def test_sweep_rejects_unknown_axis(self, capsys):
+        code = main(["sweep", "--axis", "bogus=1", "--axis", "workload=facesim"])
+        assert code == 1
+        assert "bogus" in capsys.readouterr().err
+
+    def test_jobs_and_cache_dir(self, capsys, tmp_path):
+        args = [
+            "figure2",
+            "--workloads",
+            "facesim",
+            "--num-cpus",
+            "4",
+            "--scale",
+            "0.03",
+            "--cache-dir",
+            str(tmp_path),
+            "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert len(list(tmp_path.glob("*.json"))) > 0
+        # Second invocation is served from the on-disk cache.
+        assert main(args + ["--jobs", "2"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first

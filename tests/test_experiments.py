@@ -118,6 +118,22 @@ class TestFigureHarnesses:
         assert any(p.paged for p in result.points)
         assert "swaptions" in format_figure11_left(result)
 
+    def test_figure11_left_small_override_follows_argument(self):
+        from repro.experiments.figure11 import sweep_figure11_left
+
+        # The defrag override tracks the small_workloads parameter, not
+        # the module-level small-suite constant.
+        as_small = sweep_figure11_left(
+            big_workloads=(), small_workloads=("canneal",), num_cpus=4
+        )
+        config = as_small.config_for({"workload": "canneal", "series": "hatric"})
+        assert config.paging.defrag_interval > 0
+        as_big = sweep_figure11_left(
+            big_workloads=("canneal",), small_workloads=(), num_cpus=4
+        )
+        config = as_big.config_for({"workload": "canneal", "series": "hatric"})
+        assert config.paging.defrag_interval == 0
+
     def test_figure11_right(self):
         result = run_figure11_right(
             workloads=["facesim"], cotag_sizes=[2], num_cpus=4, scale=TINY
