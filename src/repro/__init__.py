@@ -45,9 +45,14 @@ from repro.core.protocol import (
     TranslationCoherenceProtocol,
     make_protocol,
 )
-from repro.workloads import WORKLOADS, make_workload
+from repro.workloads import (
+    WORKLOADS,
+    ScenarioSpec,
+    make_workload,
+    scenario_spec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheConfig",
@@ -59,6 +64,7 @@ __all__ = [
     "PROTOCOLS",
     "ResultCache",
     "RunRequest",
+    "ScenarioSpec",
     "Session",
     "SimulationResult",
     "Simulator",
@@ -71,5 +77,6 @@ __all__ = [
     "default_session",
     "make_workload",
     "make_protocol",
+    "scenario_spec",
     "__version__",
 ]

@@ -17,7 +17,11 @@ import tempfile
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
-from repro.api.request import config_from_dict, config_to_dict
+from repro.api.request import (
+    CACHE_SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
+)
 from repro.energy.model import EnergyBreakdown
 from repro.sim.remap_anatomy import AnatomyRow
 from repro.sim.simulator import SimulationResult
@@ -61,11 +65,23 @@ def _decode_stats(data: Mapping[str, Any]) -> MachineStats:
 
 
 def encode_result(result: AnyResult) -> dict[str, Any]:
-    """Serialize a simulation or anatomy result to JSON-compatible data."""
+    """Serialize a simulation or anatomy result to JSON-compatible data.
+
+    Every entry carries the current :data:`CACHE_SCHEMA_VERSION`;
+    :func:`decode_result` refuses entries stamped with any other value
+    (including entries from releases that predate the stamp), which is
+    what keeps a stale on-disk cache from silently feeding old numbers
+    into new code.
+    """
     if isinstance(result, AnatomyRow):
-        return {"type": "anatomy", **dataclasses.asdict(result)}
+        return {
+            "type": "anatomy",
+            "schema": CACHE_SCHEMA_VERSION,
+            **dataclasses.asdict(result),
+        }
     return {
         "type": "simulation",
+        "schema": CACHE_SCHEMA_VERSION,
         "config": config_to_dict(result.config),
         "workload": result.workload,
         "stats": _encode_stats(result.stats),
@@ -80,10 +96,21 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
 
 
 def decode_result(data: Mapping[str, Any]) -> AnyResult:
-    """Rebuild a result from :func:`encode_result` output."""
+    """Rebuild a result from :func:`encode_result` output.
+
+    Raises :class:`ValueError` when the entry's schema stamp does not
+    match the running code's :data:`CACHE_SCHEMA_VERSION` (missing
+    stamp included), so callers treat stale entries as cache misses.
+    """
+    schema = data.get("schema")
+    if schema != CACHE_SCHEMA_VERSION:
+        raise ValueError(
+            f"cached result has schema {schema!r}, current code expects "
+            f"{CACHE_SCHEMA_VERSION}; ignoring stale entry"
+        )
     kind = data.get("type")
     if kind == "anatomy":
-        fields = {k: v for k, v in data.items() if k != "type"}
+        fields = {k: v for k, v in data.items() if k not in ("type", "schema")}
         return AnatomyRow(**fields)
     if kind != "simulation":
         raise ValueError(f"unknown cached result type {kind!r}")

@@ -33,9 +33,12 @@ EXPERIMENT_TRACE = "trace"
 EXPERIMENT_REMAP = "remap"
 EXPERIMENTS = (EXPERIMENT_TRACE, EXPERIMENT_REMAP)
 
-#: Bumped whenever the simulator changes in a way that invalidates
-#: previously cached results; part of every cache key.
-CACHE_SCHEMA_VERSION = 1
+#: Bumped whenever the simulator or the cached-result format changes in
+#: a way that invalidates previously cached results.  It is part of
+#: every cache key AND stamped into every on-disk cache entry, so
+#: results written by an older release are ignored (treated as misses
+#: and overwritten) rather than returned stale.
+CACHE_SCHEMA_VERSION = 2
 
 _CONFIG_SECTIONS = {
     "cache": CacheConfig,

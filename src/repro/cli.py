@@ -11,6 +11,9 @@ optionally exports JSON.  Examples::
     python -m repro sweep --axis protocol=software,hatric,ideal \\
         --axis workload=canneal,facesim \\
         --normalize protocol=ideal --normalize placement=slow-only
+    python -m repro scenario run --family migration-daemon \\
+        --protocols software,hatric,ideal --seed 7
+    python -m repro scenario diff --seeds 0,1,2
 """
 
 from __future__ import annotations
@@ -48,7 +51,21 @@ from repro.experiments import (
     run_xen_study,
 )
 from repro.experiments.runner import baseline_config
-from repro.workloads import WORKLOADS
+from repro.experiments.scenarios import (
+    SCENARIO_FAMILIES,
+    SCENARIO_PROTOCOLS,
+    format_differential,
+    format_scenarios,
+    run_differential,
+    run_scenarios,
+)
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.synthetic import (
+    ADDRESS_MODELS,
+    SHARING_MODELS,
+    scenario_spec,
+    summarize_trace,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -222,7 +239,91 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("kvm", "xen"),
         help="hypervisor of the base system",
     )
+
+    _add_scenario_parser(subparsers, common)
     return parser
+
+
+def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    scenario = subparsers.add_parser(
+        "scenario", help="generate and run synthetic hypervisor scenarios"
+    )
+    commands = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    spec_opts = argparse.ArgumentParser(add_help=False)
+    spec_opts.add_argument(
+        "--family",
+        default=None,
+        metavar="A,B,...",
+        help="scenario families (default: all); see 'scenario list'",
+    )
+    spec_opts.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="syn:...",
+        help="explicit canonical scenario name; repeatable",
+    )
+    spec_opts.add_argument("--seed", type=int, default=0, help="scenario seed")
+    spec_opts.add_argument(
+        "--address", default=None, choices=sorted(ADDRESS_MODELS),
+        help="override the family's address-stream model",
+    )
+    spec_opts.add_argument(
+        "--sharing", default=None, choices=SHARING_MODELS,
+        help="vCPU placement model",
+    )
+    spec_opts.add_argument(
+        "--vcpus", type=int, default=None, metavar="N",
+        help="vCPU count (default: the machine's 16)",
+    )
+    spec_opts.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="total references across vCPUs",
+    )
+    spec_opts.add_argument(
+        "--footprint", type=int, default=None, metavar="PAGES",
+        help="scenario footprint in pages",
+    )
+
+    commands.add_parser(
+        "list", help="list scenario families and component models"
+    )
+
+    generate = commands.add_parser(
+        "generate", parents=[spec_opts],
+        help="generate a trace and print its summary (no simulation)",
+    )
+    generate.add_argument("--json", action="store_true")
+    generate.add_argument("--output", default=None, metavar="PATH")
+
+    run = commands.add_parser(
+        "run", parents=[common, spec_opts],
+        help="sweep protocol x scenario and validate invariants",
+    )
+    run.add_argument(
+        "--protocols",
+        default=",".join(SCENARIO_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: {','.join(SCENARIO_PROTOCOLS)})",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (on by default here)",
+    )
+
+    diff = commands.add_parser(
+        "diff", parents=[common, spec_opts],
+        help="differential invariant check over a seed matrix",
+    )
+    diff.add_argument(
+        "--protocols", default=",".join(SCENARIO_PROTOCOLS), metavar="P1,P2,..."
+    )
+    diff.add_argument(
+        "--seeds", default="0,1,2,3", metavar="S1,S2,...",
+        help="seed matrix: one scenario per (family, seed) pair",
+    )
+    diff.add_argument("--no-cache", action="store_true")
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -251,6 +352,10 @@ def _run_list() -> str:
     lines.append("workloads:")
     lines.append("  " + ", ".join(sorted(WORKLOADS)))
     lines.append("  mixNN / mixNNxM (multiprogrammed SPEC mixes)")
+    lines.append(
+        "  syn:FAMILY/... (synthetic scenarios; see 'python -m repro "
+        "scenario list')"
+    )
     return "\n".join(lines)
 
 
@@ -328,6 +433,137 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return _format_sweep_table(grid)
 
 
+def _scenario_overrides(args: argparse.Namespace) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    if args.address:
+        overrides["address_model"] = args.address
+    if args.sharing:
+        overrides["sharing"] = args.sharing
+    if args.vcpus is not None:
+        overrides["num_vcpus"] = args.vcpus
+    if args.refs is not None:
+        overrides["refs_total"] = args.refs
+    if args.footprint is not None:
+        overrides["footprint_pages"] = args.footprint
+    return overrides
+
+
+def _scenario_families(args: argparse.Namespace) -> tuple[str, ...]:
+    if args.family:
+        return tuple(f.strip() for f in args.family.split(",") if f.strip())
+    if args.scenario:
+        return ()
+    return SCENARIO_FAMILIES
+
+
+def _scenario_session(args: argparse.Namespace) -> Session:
+    # Scenario runs default to the persistent cache so re-running the
+    # same command is answered from disk instead of re-simulating.
+    # --no-cache always wins, including over an explicit --cache-dir.
+    cache_dir: Any
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or True
+    return Session(cache_dir=cache_dir, max_workers=args.jobs)
+
+
+def _session_footer(session: Session) -> str:
+    stats = session.stats
+    return (
+        f"session: {stats.executed} simulated, {stats.disk_hits} from disk "
+        f"cache, {stats.memo_hits + stats.deduplicated} deduplicated"
+    )
+
+
+def _run_scenario(args: argparse.Namespace) -> tuple[str, int]:
+    command = args.scenario_command
+    if command == "list":
+        from repro.workloads.synthetic import FAMILY_PRESETS
+
+        lines = ["scenario families (remap-pattern models):"]
+        lines += [f"  {name}" for name in FAMILY_PRESETS]
+        lines.append("address models:   " + ", ".join(sorted(ADDRESS_MODELS)))
+        lines.append("sharing models:   " + ", ".join(SHARING_MODELS))
+        lines.append("protocols:        " + ", ".join(SCENARIO_PROTOCOLS))
+        lines.append(
+            "names: syn:FAMILY/key=value/... "
+            "(e.g. syn:migration-daemon/addr=zipf/seed=7)"
+        )
+        return "\n".join(lines), 0
+
+    overrides = _scenario_overrides(args)
+    if command == "generate":
+        names = [
+            scenario_spec(family, seed=args.seed, **overrides).name
+            for family in _scenario_families(args)
+        ] + list(args.scenario)
+        summaries = []
+        for name in names:
+            workload = make_workload(name)
+            trace = workload.generate(num_vcpus=args.vcpus or 16)
+            summaries.append(summarize_trace(trace))
+        if args.json:
+            return json.dumps(summaries, indent=2), 0
+        lines = []
+        for summary in summaries:
+            lines.append(summary["name"])
+            for key, value in summary.items():
+                if key != "name":
+                    lines.append(f"  {key}: {value}")
+        return "\n".join(lines), 0
+
+    protocols = tuple(
+        p.strip() for p in args.protocols.split(",") if p.strip()
+    )
+    session = _scenario_session(args)
+    scale = _scale_from_args(args)
+
+    if command == "run":
+        result = run_scenarios(
+            families=_scenario_families(args),
+            protocols=protocols,
+            seed=args.seed,
+            scenarios=args.scenario,
+            scale=scale,
+            session=session,
+            **overrides,
+        )
+        if args.json:
+            payload = {
+                "cells": [dataclasses.asdict(cell) for cell in result.cells],
+                "violations": result.violations,
+                "ok": result.ok,
+                "session": dataclasses.asdict(session.stats),
+            }
+            return json.dumps(payload, indent=2), 0 if result.ok else 1
+        text = format_scenarios(result) + "\n" + _session_footer(session)
+        return text, 0 if result.ok else 1
+
+    # command == "diff"
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    specs = [
+        scenario_spec(family, seed=seed, **overrides)
+        for family in _scenario_families(args)
+        for seed in seeds
+    ]
+    report = run_differential(
+        specs + list(args.scenario),
+        protocols=protocols,
+        scale=scale,
+        session=session,
+    )
+    if args.json:
+        payload = {
+            "protocols": list(report.protocols),
+            "violations": report.violations,
+            "ok": report.ok,
+        }
+        return json.dumps(payload, indent=2), 0 if report.ok else 1
+    text = format_differential(report) + "\n" + _session_footer(session)
+    return text, 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -336,6 +572,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text = _run_list()
             _emit(text, None)
             return 0
+        if args.command == "scenario":
+            text, code = _run_scenario(args)
+            _emit(text, getattr(args, "output", None))
+            return code
         if args.command == "sweep":
             text = _run_sweep(args)
         else:

@@ -33,6 +33,16 @@ from repro.experiments.figure12 import run_figure12, format_figure12, sweep_figu
 from repro.experiments.figure13 import run_figure13, format_figure13, sweep_figure13
 from repro.experiments.xen_study import run_xen_study, format_xen_study, sweep_xen_study
 from repro.experiments.anatomy import anatomy_requests, run_anatomy, format_anatomy
+from repro.experiments.scenarios import (
+    SCENARIO_FAMILIES,
+    SCENARIO_PROTOCOLS,
+    differential_violations,
+    format_differential,
+    format_scenarios,
+    run_differential,
+    run_scenarios,
+    sweep_scenarios,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -42,15 +52,22 @@ __all__ = [
     "format_figure10",
     "format_figure11_left",
     "format_figure11_right",
+    "SCENARIO_FAMILIES",
+    "SCENARIO_PROTOCOLS",
+    "differential_violations",
     "format_figure12",
     "format_figure13",
     "format_figure2",
     "format_figure7",
     "format_figure8",
     "format_figure9",
+    "format_scenarios",
+    "format_differential",
     "format_xen_study",
     "run_anatomy",
     "run_configuration",
+    "run_differential",
+    "run_scenarios",
     "run_figure10",
     "run_figure11_left",
     "run_figure11_right",
@@ -70,5 +87,6 @@ __all__ = [
     "sweep_figure7",
     "sweep_figure8",
     "sweep_figure9",
+    "sweep_scenarios",
     "sweep_xen_study",
 ]

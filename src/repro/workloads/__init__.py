@@ -23,6 +23,14 @@ from repro.workloads.spec_mix import (
     make_spec_mix,
     spec_app_names,
 )
+from repro.workloads.synthetic import (
+    SCENARIO_PREFIX,
+    ScenarioSpec,
+    SyntheticWorkload,
+    make_scenario,
+    parse_scenario_name,
+    scenario_spec,
+)
 
 #: Registry of every named (non-mix) workload.
 WORKLOADS: dict[str, WorkloadSpec] = {
@@ -34,13 +42,17 @@ WORKLOADS: dict[str, WorkloadSpec] = {
 def make_workload(name: str) -> Workload:
     """Build any named workload.
 
-    Accepts the paper suite and small-footprint suite by name, plus
+    Accepts the paper suite and small-footprint suite by name,
     multiprogrammed SPEC mixes as ``mixNN`` (16 applications, the
     paper's shape) or ``mixNNxM`` (``M`` applications, used by
-    scaled-down runs).
+    scaled-down runs), and synthetic scenarios as canonical
+    ``syn:family/key=value/...`` names (see
+    :mod:`repro.workloads.synthetic`).
     """
     if name in WORKLOADS:
         return Workload(WORKLOADS[name])
+    if name.startswith(SCENARIO_PREFIX):
+        return make_scenario(name)
     if name.startswith("mix"):
         index_part, sep, apps_part = name[3:].partition("x")
         if not (sep and not apps_part):  # reject a trailing "x" with no count
@@ -51,7 +63,7 @@ def make_workload(name: str) -> Workload:
                 pass
             else:
                 return make_spec_mix(index, apps_per_mix=apps)
-    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM"
+    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM, syn:..."
     raise ValueError(f"unknown workload {name!r}; known: {known}")
 
 
@@ -60,8 +72,11 @@ __all__ = [
     "MultiprogrammedWorkload",
     "NUM_MIXES",
     "PAPER_WORKLOAD_SPECS",
+    "SCENARIO_PREFIX",
     "SMALL_WORKLOAD_SPECS",
     "SPEC_APP_SPECS",
+    "ScenarioSpec",
+    "SyntheticWorkload",
     "WORKLOADS",
     "Workload",
     "WorkloadSpec",
@@ -69,8 +84,11 @@ __all__ = [
     "all_mixes",
     "generate_stream",
     "make_paper_workload",
+    "make_scenario",
     "make_small_workload",
     "make_spec_mix",
     "make_workload",
+    "parse_scenario_name",
+    "scenario_spec",
     "spec_app_names",
 ]

@@ -1,0 +1,635 @@
+"""Synthetic scenario engine: seeded, declarative workload generators.
+
+The paper's conclusions hinge on *how* nested-page-table remaps arrive
+-- page migration daemons, dirty-page logging during live migration,
+memory compaction, NUMA balancing, ballooning -- yet the fixed workload
+suite replays one point in that scenario space.  This module generates
+:class:`~repro.workloads.base.WorkloadTrace` objects from three
+composable, independently-seeded model families:
+
+* **address-stream models** shaping the base reference stream:
+  ``zipf`` (skewed stationary popularity), ``strided`` (streaming with
+  occasional jumps), ``phased`` (a drifting hot window, like the suite
+  workloads) and ``working-set-shift`` (the hot window jumps to random
+  locations, graph500-style);
+* **remap-pattern models** (the scenario *family*) overlaying the kind
+  of access activity that provokes each real hypervisor remap source:
+  ``migration-daemon`` (bursts of cold accesses that force demand
+  migrations and background evictions), ``live-migration`` (periodic
+  write sweeps, like dirty-page logging passes re-touching the working
+  set), ``compaction`` (linear footprint sweeps; pair with the paging
+  ``defrag_interval`` knob), ``numa-balancing`` (the hot set migrates
+  between the two halves of the footprint), ``ballooning`` (the guest
+  is periodically confined to half its footprint and then re-expands)
+  and ``steady`` (no overlay);
+* **sharing models** for vCPU placement: ``shared`` (every vCPU is a
+  thread of one process), ``clustered`` (pairs of vCPUs share a
+  process) and ``private`` (one single-threaded process per vCPU, a
+  multiprogrammed mix).
+
+A scenario is one frozen :class:`ScenarioSpec`.  Its canonical name
+(``syn:family/key=value/...``, non-default fields only, fixed order)
+round-trips through :func:`parse_scenario_name`, and
+:func:`repro.workloads.make_workload` resolves any ``syn:`` name, so
+scenarios flow through :class:`~repro.api.request.RunRequest` /
+``Session`` / ``Sweep`` unchanged and get stable cache keys for free.
+
+Generation is fully deterministic: the trace depends only on the spec,
+the machine seed and the vCPU count, never on generation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
+from repro.workloads.base import WorkloadTrace
+
+#: Prefix identifying synthetic scenario workload names.
+SCENARIO_PREFIX = "syn:"
+
+#: vCPU placement / sharing models.
+SHARING_MODELS = ("shared", "clustered", "private")
+
+#: vCPUs per guest process under the ``clustered`` sharing model.
+_CLUSTER_SIZE = 2
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one synthetic scenario.
+
+    Attributes:
+        family: remap-pattern model (see :data:`REMAP_MODELS`).
+        address_model: base address-stream model (:data:`ADDRESS_MODELS`).
+        sharing: vCPU placement model (:data:`SHARING_MODELS`).
+        seed: scenario seed, mixed with the machine seed at generation.
+        num_vcpus: streams to generate (None = match the machine).
+        footprint_pages: distinct pages across the whole scenario; under
+            ``clustered``/``private`` sharing it is split between the
+            guest processes so the aggregate stays comparable.
+        hot_fraction: fraction of the (per-process) footprint forming
+            the hot working set.
+        cold_probability: probability that a visit targets the whole
+            footprint uniformly instead of the hot set.
+        refs_total: total references across all vCPUs for a default run.
+        page_reuse: consecutive references issued to a page per visit.
+        write_fraction: base probability that a reference is a write.
+        zipf_alpha: skew of the ``zipf`` address model.
+        stride_pages: step of the ``strided`` address model.
+        phase_length: visits per phase of the ``phased`` model.
+        drift_pages: hot-window drift per phase of the ``phased`` model.
+        shift_interval: visits between jumps of ``working-set-shift``.
+        burst_interval: visits between remap-overlay episodes.
+        burst_length: visits overwritten by each overlay episode.
+        base_page: first guest virtual page of the footprint.
+    """
+
+    family: str = "steady"
+    address_model: str = "phased"
+    sharing: str = "shared"
+    seed: int = 0
+    num_vcpus: Optional[int] = None
+    footprint_pages: int = 2800
+    hot_fraction: float = 0.7
+    cold_probability: float = 0.002
+    refs_total: int = 64_000
+    page_reuse: int = 3
+    write_fraction: float = 0.25
+    zipf_alpha: float = 0.7
+    stride_pages: int = 1
+    phase_length: int = 250
+    drift_pages: int = 60
+    shift_interval: int = 300
+    burst_interval: int = 300
+    burst_length: int = 60
+    base_page: int = 0x40000
+
+    def __post_init__(self) -> None:
+        if self.family not in REMAP_MODELS:
+            raise ValueError(
+                f"unknown scenario family {self.family!r}; known: "
+                f"{', '.join(sorted(REMAP_MODELS))}"
+            )
+        if self.address_model not in ADDRESS_MODELS:
+            raise ValueError(
+                f"unknown address model {self.address_model!r}; known: "
+                f"{', '.join(sorted(ADDRESS_MODELS))}"
+            )
+        if self.sharing not in SHARING_MODELS:
+            raise ValueError(
+                f"unknown sharing model {self.sharing!r}; known: "
+                f"{', '.join(SHARING_MODELS)}"
+            )
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.num_vcpus is not None and self.num_vcpus <= 0:
+            raise ValueError("num_vcpus must be positive when given")
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.cold_probability <= 1.0:
+            raise ValueError("cold_probability must be a probability")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+        if self.refs_total <= 0:
+            raise ValueError("refs_total must be positive")
+        if self.page_reuse <= 0:
+            raise ValueError("page_reuse must be positive")
+        if self.zipf_alpha <= 0.0:
+            raise ValueError("zipf_alpha must be positive")
+        if self.stride_pages <= 0:
+            raise ValueError("stride_pages must be positive")
+        for knob in ("phase_length", "shift_interval", "burst_interval"):
+            if getattr(self, knob) <= 0:
+                raise ValueError(f"{knob} must be positive")
+        if self.drift_pages < 0 or self.burst_length < 0 or self.base_page < 0:
+            raise ValueError(
+                "drift_pages, burst_length and base_page must be non-negative"
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical workload name; round-trips via :func:`parse_scenario_name`.
+
+        Only fields differing from the defaults appear, in declaration
+        order, so equal specs always produce equal names (and hence
+        equal :class:`~repro.api.request.RunRequest` cache keys).
+        """
+        segments = [f"{SCENARIO_PREFIX}{self.family}"]
+        for field in fields(self):
+            if field.name == "family":
+                continue
+            value = getattr(self, field.name)
+            if value == field.default:
+                continue
+            segments.append(f"{_NAME_KEYS[field.name]}={_format_value(value)}")
+        return "/".join(segments)
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """Return a copy with arbitrary fields replaced."""
+        return replace(self, **changes)
+
+    def scaled_refs(self, factor: float) -> "ScenarioSpec":
+        """Return a copy with the total reference count scaled."""
+        return replace(self, refs_total=max(1, int(self.refs_total * factor)))
+
+
+#: Short, stable name-segment keys for every non-family spec field.
+_NAME_KEYS: dict[str, str] = {
+    "address_model": "addr",
+    "sharing": "share",
+    "seed": "seed",
+    "num_vcpus": "vcpus",
+    "footprint_pages": "fp",
+    "hot_fraction": "hot",
+    "cold_probability": "cold",
+    "refs_total": "refs",
+    "page_reuse": "reuse",
+    "write_fraction": "wf",
+    "zipf_alpha": "alpha",
+    "stride_pages": "stride",
+    "phase_length": "phase",
+    "drift_pages": "drift",
+    "shift_interval": "shift",
+    "burst_interval": "burst",
+    "burst_length": "blen",
+    "base_page": "base",
+}
+_FIELD_OF_KEY = {key: name for name, key in _NAME_KEYS.items()}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        raise TypeError("scenario specs have no boolean fields")
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _parse_value(field_name: str, raw: str) -> Any:
+    try:
+        if field_name in ("hot_fraction", "cold_probability", "write_fraction",
+                          "zipf_alpha"):
+            return float(raw)
+        if field_name in ("address_model", "sharing"):
+            return raw
+        return int(raw, 0)
+    except ValueError:
+        raise ValueError(
+            f"bad value {raw!r} for scenario field {field_name!r}"
+        ) from None
+
+
+def parse_scenario_name(name: str) -> ScenarioSpec:
+    """Parse a canonical ``syn:...`` name back into a :class:`ScenarioSpec`."""
+    if not name.startswith(SCENARIO_PREFIX):
+        raise ValueError(f"scenario names start with {SCENARIO_PREFIX!r}: {name!r}")
+    body = name[len(SCENARIO_PREFIX):]
+    if not body:
+        raise ValueError("empty scenario name")
+    family, *segments = body.split("/")
+    kwargs: dict[str, Any] = {"family": family}
+    for segment in segments:
+        key, sep, raw = segment.partition("=")
+        if not sep or not key or not raw:
+            raise ValueError(
+                f"scenario name segment {segment!r} is not key=value"
+            )
+        field_name = _FIELD_OF_KEY.get(key)
+        if field_name is None:
+            known = ", ".join(sorted(_FIELD_OF_KEY))
+            raise ValueError(f"unknown scenario key {key!r}; known: {known}")
+        if field_name in kwargs:
+            raise ValueError(f"duplicate scenario key {key!r}")
+        kwargs[field_name] = _parse_value(field_name, raw)
+    return ScenarioSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# address-stream models
+# ----------------------------------------------------------------------
+# Every model maps (geometry, spec, schedule, thread rng, visit count)
+# to an int64 array of page indices in [0, footprint).  ``schedule`` is
+# process-level state computed once per guest process so that threads of
+# the same process work on the same data (shared hot windows, shared
+# popularity ranking), which is what keeps the aggregate resident set at
+# the intended size.
+
+@dataclass(frozen=True)
+class _Geometry:
+    """Per-process footprint geometry after sharing-model scaling."""
+
+    footprint: int
+    hot: int
+    drift: int
+
+    @property
+    def span(self) -> int:
+        return max(1, self.footprint - self.hot)
+
+
+def _mix_cold(
+    pages: np.ndarray, geo: _Geometry, spec: ScenarioSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace a ``cold_probability`` fraction of visits with uniform ones."""
+    if spec.cold_probability <= 0.0:
+        return pages
+    is_cold = rng.random(len(pages)) < spec.cold_probability
+    cold = rng.integers(0, geo.footprint, len(pages))
+    return np.where(is_cold, cold, pages)
+
+
+def _addr_phased(geo, spec, schedule, rng, n):
+    phase = np.arange(n) // spec.phase_length
+    hot_start = (phase * geo.drift) % geo.span
+    pages = hot_start + rng.integers(0, geo.hot, n)
+    return _mix_cold(pages, geo, spec, rng)
+
+
+def _addr_working_set_shift(geo, spec, schedule, rng, n):
+    shift = np.arange(n) // spec.shift_interval
+    starts = schedule["shift_starts"]
+    pages = starts[shift] + rng.integers(0, geo.hot, n)
+    return _mix_cold(pages, geo, spec, rng)
+
+
+def _addr_zipf(geo, spec, schedule, rng, n):
+    return rng.choice(geo.footprint, size=n, p=schedule["zipf_p"])
+
+
+def _addr_strided(geo, spec, schedule, rng, n):
+    start = int(rng.integers(0, geo.footprint))
+    jumps = rng.random(n) < spec.cold_probability
+    jump_targets = rng.integers(0, geo.footprint, n)
+    idx = np.arange(n)
+    jump_idx = np.flatnonzero(jumps)
+    natural = start + spec.stride_pages * idx
+    if len(jump_idx) == 0:
+        return natural % geo.footprint
+    last = np.searchsorted(jump_idx, idx, side="right") - 1
+    anchor = jump_idx[np.maximum(last, 0)]
+    resumed = jump_targets[anchor] + spec.stride_pages * (idx - anchor)
+    return np.where(last >= 0, resumed, natural) % geo.footprint
+
+
+ADDRESS_MODELS: dict[str, Callable[..., np.ndarray]] = {
+    "phased": _addr_phased,
+    "working-set-shift": _addr_working_set_shift,
+    "zipf": _addr_zipf,
+    "strided": _addr_strided,
+}
+
+
+# ----------------------------------------------------------------------
+# remap-pattern models (scenario families)
+# ----------------------------------------------------------------------
+# Each overlay transforms the visit stream so the hypervisor's paging
+# machinery produces the remap pattern of one real remap source.  The
+# return value is ``(pages, forced_writes)`` where ``forced_writes`` is
+# either None or a boolean mask marking visits that must be writes
+# (dirty-page logging re-touches are writes by definition).
+
+def _episode_slices(spec: ScenarioSpec, n: int):
+    """Start offsets of each overlay episode within ``n`` visits."""
+    period = spec.burst_interval
+    return [
+        (k, pos, min(spec.burst_length, n - pos))
+        for k, pos in enumerate(range(period, n, period))
+    ]
+
+
+def _remap_steady(geo, spec, rng, pages):
+    return pages, None
+
+
+def _remap_migration_daemon(geo, spec, rng, pages):
+    # Bursts of uniformly cold accesses: each one demand-migrates pages
+    # into die-stacked DRAM and drives the migration daemon's background
+    # evictions -- the paper's steady-state remap source.
+    pages = pages.copy()
+    for _, pos, length in _episode_slices(spec, len(pages)):
+        pages[pos : pos + length] = rng.integers(0, geo.footprint, length)
+    return pages, None
+
+
+def _remap_live_migration(geo, spec, rng, pages):
+    # Dirty-page logging passes: each episode write-sweeps a window of
+    # the footprint, the way a pre-copy pass re-touches (and re-dirties)
+    # the working set while the hypervisor logs writes.
+    pages = pages.copy()
+    forced = np.zeros(len(pages), dtype=bool)
+    for k, pos, length in _episode_slices(spec, len(pages)):
+        start = (k * spec.burst_length) % geo.footprint
+        pages[pos : pos + length] = (start + np.arange(length)) % geo.footprint
+        forced[pos : pos + length] = True
+    return pages, forced
+
+
+def _remap_compaction(geo, spec, rng, pages):
+    # Compaction sweeps: linear scans across the whole footprint, the
+    # access pattern a defragmenting hypervisor induces while it builds
+    # superpage-sized contiguity.  Pair with a positive paging
+    # ``defrag_interval`` so resident pages are also remapped in place.
+    pages = pages.copy()
+    for k, pos, length in _episode_slices(spec, len(pages)):
+        start = (k * 4 * spec.burst_length) % geo.footprint
+        pages[pos : pos + length] = (start + np.arange(length)) % geo.footprint
+    return pages, None
+
+
+def _remap_numa_balancing(geo, spec, rng, pages):
+    # Automatic NUMA balancing: the hot set alternates between the two
+    # halves of the footprint every epoch, so residency (and hence the
+    # nested mappings) chase it back and forth.
+    epoch = np.arange(len(pages)) // spec.burst_interval
+    half = geo.footprint // 2
+    if half == 0:
+        return pages, None
+    shifted = (pages + half) % geo.footprint
+    return np.where(epoch % 2 == 1, shifted, pages), None
+
+
+def _remap_ballooning(geo, spec, rng, pages):
+    # Ballooning: odd epochs confine the guest to the lower half of its
+    # footprint (the balloon holds the rest); on deflation the upper
+    # half refaults and re-migrates.
+    epoch = np.arange(len(pages)) // spec.burst_interval
+    half = max(1, geo.footprint // 2)
+    return np.where(epoch % 2 == 1, pages % half, pages), None
+
+
+REMAP_MODELS: dict[str, Callable[..., tuple]] = {
+    "steady": _remap_steady,
+    "migration-daemon": _remap_migration_daemon,
+    "live-migration": _remap_live_migration,
+    "compaction": _remap_compaction,
+    "numa-balancing": _remap_numa_balancing,
+    "ballooning": _remap_ballooning,
+}
+
+#: Per-family spec defaults tuned so each family's remap source
+#: dominates; ``scenario_spec`` applies them under explicit overrides.
+FAMILY_PRESETS: dict[str, dict[str, Any]] = {
+    "steady": {},
+    "migration-daemon": {"address_model": "zipf", "burst_length": 80},
+    "live-migration": {
+        "write_fraction": 0.3,
+        "burst_length": 100,
+        "drift_pages": 150,
+        "cold_probability": 0.004,
+    },
+    "compaction": {"burst_length": 120},
+    "numa-balancing": {"address_model": "working-set-shift"},
+    "ballooning": {"address_model": "zipf", "burst_interval": 450},
+}
+
+
+def scenario_spec(family: str, seed: int = 0, **overrides: Any) -> ScenarioSpec:
+    """Build the preset :class:`ScenarioSpec` of a family.
+
+    Explicit ``overrides`` win over the family preset, which wins over
+    the dataclass defaults.
+    """
+    if family not in FAMILY_PRESETS:
+        known = ", ".join(sorted(FAMILY_PRESETS))
+        raise ValueError(f"unknown scenario family {family!r}; known: {known}")
+    kwargs: dict[str, Any] = {**FAMILY_PRESETS[family], **overrides}
+    return ScenarioSpec(family=family, seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the workload
+# ----------------------------------------------------------------------
+class SyntheticWorkload:
+    """A scenario as a workload: duck-compatible with the suite classes.
+
+    Satisfies everything :class:`~repro.sim.simulator.Simulator` and
+    :class:`~repro.api.scale.ExperimentScale` expect from a workload:
+    ``name``, ``spec.refs_total``, ``multiprogrammed`` and
+    ``generate(num_vcpus, seed, refs_total)``.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """Canonical scenario name."""
+        return self.spec.name
+
+    @property
+    def multiprogrammed(self) -> bool:
+        """Whether vCPUs belong to more than one guest process."""
+        return self.spec.sharing != "shared"
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        num_vcpus: Optional[int] = None,
+        seed: int = 42,
+        refs_total: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Generate the scenario's per-vCPU streams.
+
+        ``num_vcpus`` is the machine's CPU count; the trace uses
+        ``spec.num_vcpus`` capped to it (or all of it when the spec
+        leaves the count open).  ``seed`` is the machine seed; it is
+        mixed with the scenario seed, so equal (spec, seed, vcpus)
+        triples yield bit-identical traces regardless of where or in
+        what order generation happens.
+        """
+        spec = self.spec
+        if num_vcpus is None:
+            count = spec.num_vcpus or 8
+        elif num_vcpus <= 0:
+            raise ValueError("num_vcpus must be positive")
+        else:
+            count = min(spec.num_vcpus, num_vcpus) if spec.num_vcpus else num_vcpus
+
+        process_of_vcpu, num_processes = self._placement(count)
+        geo = self._geometry(num_processes)
+        total = refs_total if refs_total is not None else spec.refs_total
+        per_thread = max(1, total // count)
+        n_visits = per_thread // spec.page_reuse + 1
+
+        entropy = (spec.seed % 2**32, seed % 2**32)
+        schedules = [
+            self._process_schedule(geo, n_visits, np.random.default_rng(
+                (*entropy, 101, proc)
+            ))
+            for proc in range(num_processes)
+        ]
+
+        streams: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        address_model = ADDRESS_MODELS[spec.address_model]
+        remap_model = REMAP_MODELS[spec.family]
+        for cpu in range(count):
+            rng = np.random.default_rng((*entropy, 202, cpu))
+            schedule = schedules[process_of_vcpu[cpu]]
+            pages = address_model(geo, spec, schedule, rng, n_visits)
+            pages, forced = remap_model(geo, spec, rng, pages.astype(np.int64))
+            addresses, write_flags = self._expand(
+                geo, pages, forced, per_thread, rng
+            )
+            streams.append(addresses)
+            writes.append(write_flags)
+
+        app_names = None
+        if num_processes > 1:
+            app_names = [
+                f"v{cpu:02d}.p{proc}"
+                for cpu, proc in enumerate(process_of_vcpu)
+            ]
+        return WorkloadTrace(
+            name=spec.name,
+            streams=streams,
+            writes=writes,
+            process_of_vcpu=process_of_vcpu,
+            num_processes=num_processes,
+            app_names=app_names,
+        )
+
+    # ------------------------------------------------------------------
+    def _placement(self, count: int) -> tuple[list[int], int]:
+        sharing = self.spec.sharing
+        if sharing == "shared":
+            return [0] * count, 1
+        if sharing == "clustered":
+            procs = [cpu // _CLUSTER_SIZE for cpu in range(count)]
+            return procs, procs[-1] + 1
+        return list(range(count)), count
+
+    def _geometry(self, num_processes: int) -> _Geometry:
+        # Split the footprint between processes so the aggregate stays
+        # at the declared size instead of multiplying with the vCPUs.
+        spec = self.spec
+        footprint = (
+            spec.footprint_pages
+            if num_processes == 1
+            else max(64, spec.footprint_pages // num_processes)
+        )
+        hot = max(1, min(footprint, int(footprint * spec.hot_fraction)))
+        # drift_pages=0 means a stationary hot window and must stay 0;
+        # any positive drift survives the per-process scaling as >= 1.
+        drift = (
+            0
+            if spec.drift_pages == 0
+            else max(1, round(spec.drift_pages * footprint / spec.footprint_pages))
+        )
+        return _Geometry(footprint=footprint, hot=hot, drift=drift)
+
+    def _process_schedule(
+        self, geo: _Geometry, n_visits: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Process-level state shared by every thread of one process."""
+        spec = self.spec
+        schedule: dict[str, np.ndarray] = {}
+        if spec.address_model == "working-set-shift":
+            n_shifts = n_visits // spec.shift_interval + 1
+            schedule["shift_starts"] = rng.integers(0, geo.span, n_shifts)
+        elif spec.address_model == "zipf":
+            ranks = rng.permutation(geo.footprint)
+            weights = (ranks + 1.0) ** -spec.zipf_alpha
+            schedule["zipf_p"] = weights / weights.sum()
+        return schedule
+
+    def _expand(
+        self,
+        geo: _Geometry,
+        pages: np.ndarray,
+        forced_writes: Optional[np.ndarray],
+        per_thread: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand page visits into addressed references with write flags."""
+        spec = self.spec
+        repeated = np.repeat(pages, spec.page_reuse)[:per_thread]
+        offsets = rng.integers(0, PAGE_SIZE // 8, per_thread) * 8
+        addresses = ((spec.base_page + repeated) << PAGE_SHIFT) | offsets
+        write_flags = rng.random(per_thread) < spec.write_fraction
+        if forced_writes is not None:
+            write_flags |= np.repeat(forced_writes, spec.page_reuse)[:per_thread]
+        return addresses.astype(np.int64), write_flags
+
+
+def make_scenario(name_or_spec: str | ScenarioSpec) -> SyntheticWorkload:
+    """Build a :class:`SyntheticWorkload` from a ``syn:`` name or a spec."""
+    if isinstance(name_or_spec, ScenarioSpec):
+        return SyntheticWorkload(name_or_spec)
+    return SyntheticWorkload(parse_scenario_name(name_or_spec))
+
+
+def summarize_trace(trace: WorkloadTrace) -> dict[str, Any]:
+    """JSON-compatible summary of a generated trace (for the CLI)."""
+    total = trace.total_references
+    write_refs = int(sum(int(w.sum()) for w in trace.writes))
+    return {
+        "name": trace.name,
+        "num_vcpus": trace.num_vcpus,
+        "num_processes": trace.num_processes,
+        "total_references": total,
+        "references_per_vcpu": [len(s) for s in trace.streams],
+        "distinct_pages": trace.footprint_pages(),
+        "write_fraction": round(write_refs / max(1, total), 4),
+    }
+
+
+__all__ = [
+    "ADDRESS_MODELS",
+    "FAMILY_PRESETS",
+    "REMAP_MODELS",
+    "SCENARIO_PREFIX",
+    "SHARING_MODELS",
+    "ScenarioSpec",
+    "SyntheticWorkload",
+    "make_scenario",
+    "parse_scenario_name",
+    "scenario_spec",
+    "summarize_trace",
+]

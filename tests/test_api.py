@@ -161,6 +161,34 @@ class TestSession:
         assert decoded.stats.total_cycles == result.stats.total_cycles
         assert decoded.energy.total == pytest.approx(result.energy.total)
 
+    def test_stale_schema_entry_is_a_miss(self, tmp_path):
+        """Entries stamped by an older release are re-simulated, not returned."""
+        import json
+
+        from repro.api.request import CACHE_SCHEMA_VERSION
+
+        request = tiny_request()
+        Session(cache_dir=tmp_path).run(request)
+        path = ResultCache(tmp_path).path_for(request.cache_key)
+
+        for stale_stamp in (CACHE_SCHEMA_VERSION - 1, None):
+            data = json.loads(path.read_text())
+            assert data["schema"] == CACHE_SCHEMA_VERSION
+            if stale_stamp is None:
+                del data["schema"]  # releases predating the stamp
+            else:
+                data["schema"] = stale_stamp
+            path.write_text(json.dumps(data))
+            with pytest.raises(ValueError, match="schema"):
+                decode_result(data)
+
+            session = Session(cache_dir=tmp_path)
+            session.run(tiny_request())
+            assert session.stats.disk_hits == 0
+            assert session.stats.executed == 1
+            # The stale entry was overwritten with a current-schema one.
+            assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA_VERSION
+
     def test_parallel_matches_serial(self):
         requests = [
             tiny_request(protocol="software"),

@@ -1,0 +1,136 @@
+"""Differential protocol validation over a fixed matrix of random scenarios.
+
+Every translation coherence protocol must satisfy a small set of
+cross-protocol invariants on *any* trace, so seeded random scenarios
+from :mod:`repro.workloads.synthetic` act as a test oracle without any
+golden values:
+
+* the ideal (zero-cost) protocol is never slower than a real one;
+* HATRIC is never slower than the software shootdown baseline;
+* every statistic (event counters, cycles, energy) is non-negative;
+* all protocols retire the identical number of references.
+
+The scenario matrix is fixed (seeds are part of the specs), each
+scenario pins its own ``refs_total``, and the machine is the small test
+config -- the suite is deliberately independent of
+``REPRO_EXPERIMENT_SCALE`` and of the benchmark suite, which is what
+lets CI run it on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentScale, RunRequest, Session
+from repro.experiments.scenarios import (
+    SCENARIO_FAMILIES,
+    SCENARIO_PROTOCOLS,
+    differential_violations,
+    run_differential,
+)
+from repro.sim.config import PagingConfig
+from repro.workloads.synthetic import SHARING_MODELS, scenario_spec
+from tests.conftest import small_config
+
+#: Fixed seed matrix: ~20 scenarios cycling through every family,
+#: address model and sharing model.  Each index is one scenario.
+SCENARIO_MATRIX = tuple(range(20))
+
+_ADDRESS_CYCLE = ("zipf", "phased", "working-set-shift", "strided")
+
+
+def matrix_spec(index: int):
+    """Deterministically derive scenario ``index`` of the matrix."""
+    family = SCENARIO_FAMILIES[index % len(SCENARIO_FAMILIES)]
+    return scenario_spec(
+        family,
+        seed=1000 + index,
+        address_model=_ADDRESS_CYCLE[index % len(_ADDRESS_CYCLE)],
+        sharing=SHARING_MODELS[index % len(SHARING_MODELS)],
+        footprint_pages=420,
+        hot_fraction=0.5,
+        refs_total=2000,
+        burst_interval=100,
+        burst_length=30,
+        phase_length=120,
+        shift_interval=140,
+    )
+
+
+def _base_config():
+    """The small test machine, with the migration daemon enabled so the
+    daemon-driven remap families actually exercise background evictions."""
+    return small_config(
+        paging=PagingConfig(
+            policy="lru",
+            migration_daemon=True,
+            daemon_free_target=16,
+            prefetch_pages=0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One shared run of the whole matrix under every protocol."""
+    specs = [matrix_spec(index) for index in SCENARIO_MATRIX]
+    return run_differential(
+        specs,
+        protocols=SCENARIO_PROTOCOLS,
+        session=Session(),
+        scale=ExperimentScale(),
+        base=_base_config(),
+    )
+
+
+@pytest.mark.parametrize("index", SCENARIO_MATRIX)
+def test_invariants_hold(report, index):
+    name = matrix_spec(index).name
+    assert report.violations[name] == []
+
+
+def test_matrix_covers_every_family_and_sharing_model():
+    specs = [matrix_spec(index) for index in SCENARIO_MATRIX]
+    assert {spec.family for spec in specs} == set(SCENARIO_FAMILIES)
+    assert {spec.sharing for spec in specs} == set(SHARING_MODELS)
+    assert {spec.address_model for spec in specs} == set(_ADDRESS_CYCLE)
+    # Specs are distinct scenarios (distinct names, hence cache keys).
+    assert len({spec.name for spec in specs}) == len(specs)
+
+
+def test_matrix_is_not_vacuous():
+    """The matrix scenarios actually provoke remaps (evictions)."""
+    spec = matrix_spec(1)  # a migration-daemon scenario
+    result = Session().run(
+        RunRequest(
+            config=_base_config().with_protocol("software"),
+            workload=spec.name,
+        )
+    )
+    assert result.events.get("paging.evictions", 0) > 0
+    assert result.coherence_cycles > 0
+
+
+def test_violations_are_detected():
+    """The checker itself flags a fabricated inversion (no false PASS)."""
+    spec = matrix_spec(0)
+    session = Session()
+    results = {
+        protocol: session.run(
+            RunRequest(
+                config=_base_config().with_protocol(protocol),
+                workload=spec.name,
+            )
+        )
+        for protocol in ("software", "ideal")
+    }
+    assert differential_violations(results) == []
+    # Swap the labels: "ideal" now carries the slower software run.
+    swapped = {
+        "software": results["ideal"],
+        "ideal": results["software"],
+    }
+    assert any(
+        "ideal slower" in violation
+        for violation in differential_violations(swapped)
+    )

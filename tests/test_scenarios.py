@@ -1,0 +1,258 @@
+"""Tests for the synthetic scenario engine (:mod:`repro.workloads.synthetic`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentScale, RunRequest, Session
+from repro.translation.address import PAGE_SHIFT
+from repro.workloads import make_workload
+from repro.workloads.synthetic import (
+    ADDRESS_MODELS,
+    FAMILY_PRESETS,
+    REMAP_MODELS,
+    SHARING_MODELS,
+    ScenarioSpec,
+    SyntheticWorkload,
+    make_scenario,
+    parse_scenario_name,
+    scenario_spec,
+    summarize_trace,
+)
+from tests.conftest import small_config
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        footprint_pages=420,
+        refs_total=2400,
+        burst_interval=100,
+        burst_length=30,
+        phase_length=120,
+        shift_interval=140,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestNaming:
+    def test_default_spec_name_is_bare_family(self):
+        assert ScenarioSpec().name == "syn:steady"
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_PRESETS))
+    def test_family_presets_round_trip(self, family):
+        spec = scenario_spec(family, seed=7)
+        assert parse_scenario_name(spec.name) == spec
+
+    def test_overridden_fields_round_trip(self):
+        spec = tiny_spec(
+            family="live-migration",
+            address_model="zipf",
+            sharing="private",
+            seed=123,
+            num_vcpus=8,
+            hot_fraction=0.4,
+            zipf_alpha=1.5,
+            write_fraction=0.0,
+        )
+        name = spec.name
+        assert name.startswith("syn:live-migration/")
+        rebuilt = parse_scenario_name(name)
+        assert rebuilt == spec
+        assert rebuilt.name == name
+
+    def test_equal_specs_share_names_and_cache_keys(self):
+        first = tiny_spec(seed=5)
+        second = tiny_spec(seed=5)
+        assert first.name == second.name
+        config = small_config()
+        key = RunRequest(config=config, workload=first.name).cache_key
+        assert key == RunRequest(config=config, workload=second.name).cache_key
+
+    def test_parse_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            parse_scenario_name("steady")  # missing prefix
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:")
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:bogus-family")
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:steady/seed")  # not key=value
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:steady/unknown=3")
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:steady/seed=x")
+        with pytest.raises(ValueError):
+            parse_scenario_name("syn:steady/seed=1/seed=2")
+
+    def test_registry_resolves_scenarios(self):
+        workload = make_workload("syn:steady/seed=3")
+        assert isinstance(workload, SyntheticWorkload)
+        assert workload.spec.seed == 3
+        with pytest.raises(ValueError):
+            make_workload("syn:not-a-family")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(family="bogus")
+        with pytest.raises(ValueError):
+            ScenarioSpec(address_model="bogus")
+        with pytest.raises(ValueError):
+            ScenarioSpec(sharing="bogus")
+        with pytest.raises(ValueError):
+            ScenarioSpec(seed=-1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(num_vcpus=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(burst_interval=0)
+        with pytest.raises(ValueError):
+            scenario_spec("bogus-family")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", sorted(REMAP_MODELS))
+    def test_every_family_generates_in_range(self, family):
+        spec = tiny_spec(family=family, address_model=FAMILY_PRESETS.get(
+            family, {}
+        ).get("address_model", "phased"))
+        trace = make_scenario(spec).generate(num_vcpus=4, seed=42)
+        assert trace.num_vcpus == 4
+        assert trace.total_references == 2400
+        for stream, writes in zip(trace.streams, trace.writes):
+            assert writes.dtype == bool
+            pages = stream >> PAGE_SHIFT
+            assert pages.min() >= spec.base_page
+            assert pages.max() < spec.base_page + spec.footprint_pages
+
+    @pytest.mark.parametrize("model", sorted(ADDRESS_MODELS))
+    def test_every_address_model_generates(self, model):
+        spec = tiny_spec(address_model=model)
+        trace = make_scenario(spec).generate(num_vcpus=2, seed=42)
+        assert trace.total_references == 2400
+
+    def test_zipf_is_skewed(self):
+        spec = tiny_spec(address_model="zipf", zipf_alpha=1.2)
+        trace = make_scenario(spec).generate(num_vcpus=1, seed=42)
+        pages = trace.streams[0] >> PAGE_SHIFT
+        _, counts = np.unique(pages, return_counts=True)
+        assert counts.max() > 3 * counts.mean()
+
+    def test_strided_walks_sequentially(self):
+        spec = tiny_spec(address_model="strided", cold_probability=0.0)
+        trace = make_scenario(spec).generate(num_vcpus=1, seed=42)
+        pages = trace.streams[0] >> PAGE_SHIFT
+        visits = pages[:: spec.page_reuse]
+        deltas = np.diff(visits) % spec.footprint_pages
+        assert (deltas == spec.stride_pages).mean() > 0.95
+
+    def test_live_migration_forces_writes(self):
+        spec = tiny_spec(family="live-migration", write_fraction=0.0)
+        trace = make_scenario(spec).generate(num_vcpus=2, seed=42)
+        assert sum(int(w.sum()) for w in trace.writes) > 0
+
+    def test_ballooning_confines_epochs_to_lower_half(self):
+        spec = tiny_spec(family="ballooning", address_model="zipf")
+        trace = make_scenario(spec).generate(num_vcpus=1, seed=42)
+        pages = (trace.streams[0] >> PAGE_SHIFT) - spec.base_page
+        epoch = (
+            np.arange(len(pages)) // spec.page_reuse
+        ) // spec.burst_interval
+        ballooned = pages[epoch % 2 == 1]
+        assert len(ballooned) > 0
+        assert ballooned.max() < spec.footprint_pages // 2
+
+    def test_zero_drift_keeps_the_hot_window_stationary(self):
+        spec = tiny_spec(drift_pages=0, cold_probability=0.0)
+        trace = make_scenario(spec).generate(num_vcpus=2, seed=42)
+        hot_pages = int(spec.footprint_pages * spec.hot_fraction)
+        for stream in trace.streams:
+            pages = (stream >> PAGE_SHIFT) - spec.base_page
+            assert pages.max() < hot_pages
+
+    def test_sharing_models_shape_processes(self):
+        for sharing, processes in (
+            ("shared", 1),
+            ("clustered", 2),
+            ("private", 4),
+        ):
+            spec = tiny_spec(sharing=sharing)
+            trace = make_scenario(spec).generate(num_vcpus=4, seed=42)
+            assert trace.num_processes == processes
+            assert len(set(trace.process_of_vcpu)) == processes
+            if processes > 1:
+                assert len(set(trace.app_names)) == trace.num_vcpus
+            else:
+                assert trace.app_names is None
+
+    def test_spec_vcpus_caps_to_machine(self):
+        spec = tiny_spec(num_vcpus=2)
+        trace = make_scenario(spec).generate(num_vcpus=4, seed=42)
+        assert trace.num_vcpus == 2
+
+    def test_refs_total_override_and_scale(self):
+        workload = make_scenario(tiny_spec())
+        trace = workload.generate(num_vcpus=2, seed=42, refs_total=1000)
+        assert trace.total_references == 1000
+        assert ExperimentScale(trace_scale=0.5).refs_for(workload) == 1200
+        assert ExperimentScale().refs_for(workload) is None
+
+    def test_summarize_trace(self):
+        trace = make_scenario(tiny_spec()).generate(num_vcpus=2, seed=42)
+        summary = summarize_trace(trace)
+        assert summary["num_vcpus"] == 2
+        assert summary["total_references"] == 2400
+        assert 0 < summary["distinct_pages"] <= 420
+        assert 0.0 <= summary["write_fraction"] <= 1.0
+
+
+class TestDeterminism:
+    """Same spec + seed => bit-identical traces and results (regression)."""
+
+    def test_trace_is_bit_identical(self):
+        spec = tiny_spec(family="migration-daemon", address_model="zipf")
+        first = make_scenario(spec).generate(num_vcpus=4, seed=42)
+        second = make_scenario(parse_scenario_name(spec.name)).generate(
+            num_vcpus=4, seed=42
+        )
+        for a, b in zip(first.streams, second.streams):
+            assert np.array_equal(a, b)
+        for a, b in zip(first.writes, second.writes):
+            assert np.array_equal(a, b)
+
+    def test_seeds_change_the_trace(self):
+        base = make_scenario(tiny_spec(seed=1)).generate(num_vcpus=2, seed=42)
+        respec = make_scenario(tiny_spec(seed=2)).generate(num_vcpus=2, seed=42)
+        remachine = make_scenario(tiny_spec(seed=1)).generate(
+            num_vcpus=2, seed=43
+        )
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(base.streams, respec.streams)
+        )
+        assert not all(
+            np.array_equal(a, b)
+            for a, b in zip(base.streams, remachine.streams)
+        )
+
+    def test_session_serial_matches_process_pool(self):
+        """Serial and ProcessPoolExecutor runs are bit-identical."""
+        config = small_config()
+        requests = [
+            RunRequest(
+                config=config.with_protocol(protocol),
+                workload=tiny_spec(family="migration-daemon").name,
+            )
+            for protocol in ("software", "hatric", "ideal")
+        ]
+        serial = Session().run_batch(requests)
+        parallel = Session(max_workers=2).run_batch(requests)
+        for s, p in zip(serial, parallel):
+            assert p.runtime_cycles == s.runtime_cycles
+            assert p.stats.total_instructions == s.stats.total_instructions
+            assert p.events == s.events
+            assert p.energy_total == s.energy_total
+            assert p.per_app_cycles == s.per_app_cycles
