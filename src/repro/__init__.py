@@ -39,6 +39,7 @@ from repro.sim.config import (
     TranslationConfig,
 )
 from repro.sim.costs import CostModel
+from repro.sim.engine import ENGINE_FAST, ENGINE_REFERENCE, ENGINES
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.core.protocol import (
     PROTOCOLS,
@@ -52,12 +53,15 @@ from repro.workloads import (
     scenario_spec,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CacheConfig",
     "CoherenceDirectoryConfig",
     "CostModel",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINES",
     "ExperimentScale",
     "MemoryConfig",
     "PagingConfig",

@@ -179,11 +179,15 @@ class ResultCache:
         return path
 
     def __contains__(self, key: str) -> bool:
-        # Decode rather than stat so a torn/corrupt entry (which get()
-        # treats as a miss) is not reported as present.
+        """True when ``key`` has a decodable entry on disk.
+
+        Decodes rather than stats so a torn/corrupt entry (which
+        :meth:`get` treats as a miss) is not reported as present.
+        """
         return self.get(key) is not None
 
     def __len__(self) -> int:
+        """Number of entry files currently on disk."""
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))

@@ -26,6 +26,7 @@ from repro.sim.config import (
     TranslationConfig,
 )
 from repro.sim.costs import CostModel
+from repro.sim.engine import ENGINES
 
 #: Experiment kinds a request can ask for: a trace-driven simulation or
 #: the single-remap anatomy microbenchmark (which needs no workload).
@@ -76,6 +77,12 @@ class RunRequest:
         warmup_fraction: fraction of every stream treated as warmup.
         refs_total: total references to simulate (None = spec default).
         experiment: ``"trace"`` or ``"remap"``.
+        engine: simulation engine, ``""`` (process default — usually the
+            fast engine), ``"fast"`` or ``"reference"``.  Both engines
+            produce bit-identical results, so the engine only enters the
+            cache key when explicitly non-default (letting benchmarks
+            force a re-simulation on a specific engine without
+            invalidating default-engine caches).
     """
 
     config: SystemConfig
@@ -83,6 +90,7 @@ class RunRequest:
     warmup_fraction: float = 0.2
     refs_total: Optional[int] = None
     experiment: str = EXPERIMENT_TRACE
+    engine: str = ""
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENTS:
@@ -95,19 +103,31 @@ class RunRequest:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.refs_total is not None and self.refs_total <= 0:
             raise ValueError("refs_total must be positive when given")
+        if self.engine not in ("",) + ENGINES:
+            raise ValueError(
+                f"engine must be '' or one of {ENGINES}, got {self.engine!r}"
+            )
 
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Serialize to plain JSON-compatible data."""
-        return {
+        """Serialize to plain JSON-compatible data.
+
+        The ``engine`` field is included only when explicitly set: the
+        engines are result-equivalent, so default-engine requests keep
+        the cache keys they had before engine selection existed.
+        """
+        data: dict[str, Any] = {
             "config": config_to_dict(self.config),
             "workload": self.workload,
             "warmup_fraction": self.warmup_fraction,
             "refs_total": self.refs_total,
             "experiment": self.experiment,
         }
+        if self.engine:
+            data["engine"] = self.engine
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRequest":
@@ -118,6 +138,7 @@ class RunRequest:
             warmup_fraction=data.get("warmup_fraction", 0.2),
             refs_total=data.get("refs_total"),
             experiment=data.get("experiment", EXPERIMENT_TRACE),
+            engine=data.get("engine", ""),
         )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,15 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.api.cache import CACHE_DIR_ENV_VAR, AnyResult, ResultCache
 from repro.api.request import EXPERIMENT_REMAP, RunRequest
+from repro.sim.engine import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    FastPathMismatchError,
+    diff_fingerprints,
+    resolve_engine,
+    result_fingerprint,
+    validate_fastpath_requested,
+)
 from repro.sim.remap_anatomy import single_remap_cost
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workloads import make_workload
@@ -39,16 +48,49 @@ def execute_request(request: RunRequest) -> AnyResult:
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it into worker processes.
+
+    When ``REPRO_VALIDATE_FASTPATH=1`` is set, every fast-engine trace
+    request is executed on *both* engines and the results are diffed;
+    any difference raises :class:`~repro.sim.engine.
+    FastPathMismatchError` instead of silently returning either result.
     """
     if request.experiment == EXPERIMENT_REMAP:
         return single_remap_cost(request.config)
     workload = make_workload(request.workload)
-    simulator = Simulator(request.config)
+    if (
+        validate_fastpath_requested()
+        and resolve_engine(request.engine or None) == ENGINE_FAST
+    ):
+        return _execute_validated(request, workload)
+    simulator = Simulator(request.config, engine=request.engine or None)
     return simulator.run(
         workload,
         warmup_fraction=request.warmup_fraction,
         refs_total=request.refs_total,
     )
+
+
+def _execute_validated(request: RunRequest, workload) -> SimulationResult:
+    """Run a trace request on both engines and require identical results."""
+    results = {}
+    for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+        simulator = Simulator(request.config, engine=engine)
+        results[engine] = simulator.run(
+            workload,
+            warmup_fraction=request.warmup_fraction,
+            refs_total=request.refs_total,
+        )
+    differences = diff_fingerprints(
+        result_fingerprint(results[ENGINE_REFERENCE]),
+        result_fingerprint(results[ENGINE_FAST]),
+    )
+    if differences:
+        details = "\n  ".join(differences[:20])
+        raise FastPathMismatchError(
+            f"fast engine diverged from the reference engine on "
+            f"workload {request.workload!r}:\n  {details}"
+        )
+    return results[ENGINE_FAST]
 
 
 @dataclass
@@ -160,12 +202,14 @@ class Session:
     # cache management
     # ------------------------------------------------------------------
     def __contains__(self, request: RunRequest) -> bool:
+        """True when the request is answerable without simulating."""
         key = request.cache_key
         if key in self._memo:
             return True
         return self.disk_cache is not None and key in self.disk_cache
 
     def __len__(self) -> int:
+        """Number of results memoized in this session's process memory."""
         return len(self._memo)
 
     def forget(self, requests: Optional[Iterable[RunRequest]] = None) -> None:

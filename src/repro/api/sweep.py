@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.api.request import RunRequest
 from repro.api.scale import ExperimentScale
@@ -71,7 +71,10 @@ class SweepCell:
 class SweepResult:
     """A fully-populated sweep grid with dict-indexed lookups."""
 
-    def __init__(self, axes: Mapping[str, Sequence[Any]], cells: Sequence[SweepCell]):
+    def __init__(
+        self, axes: Mapping[str, Sequence[Any]], cells: Sequence[SweepCell]
+    ) -> None:
+        """Index ``cells`` (one per coordinate combination) under ``axes``."""
         self.axes = {name: tuple(values) for name, values in axes.items()}
         self.cells = list(cells)
         self._index = {self._key(cell.coords): cell for cell in self.cells}
@@ -114,10 +117,12 @@ class SweepResult:
             return cell.normalized_runtime
         return float(cell.result.runtime_cycles)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SweepCell]:
+        """Iterate over the grid's cells in axis declaration order."""
         return iter(self.cells)
 
     def __len__(self) -> int:
+        """Number of cells (the product of the axis lengths)."""
         return len(self.cells)
 
     def to_dict(self) -> dict[str, Any]:

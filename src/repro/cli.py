@@ -14,6 +14,10 @@ optionally exports JSON.  Examples::
     python -m repro scenario run --family migration-daemon \\
         --protocols software,hatric,ideal --seed 7
     python -m repro scenario diff --seeds 0,1,2
+    python -m repro bench --workloads facesim,swaptions --repeats 3 \\
+        --output BENCH_3.json
+
+The full command reference lives in docs/CLI.md.
 """
 
 from __future__ import annotations
@@ -241,7 +245,117 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     _add_scenario_parser(subparsers, common)
+    _add_bench_parser(subparsers)
     return parser
+
+
+def _add_bench_parser(subparsers) -> None:
+    from repro.perf.bench import DEFAULT_BENCH_TAG
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the reference vs fast simulation engines",
+        description=(
+            "Benchmark the fast simulation engine against the reference "
+            "engine across figure workloads and synthetic scenarios, "
+            "verifying that both produce bit-identical results.  "
+            "See docs/PERFORMANCE.md for how to read the output."
+        ),
+    )
+    bench.add_argument(
+        "--workloads",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated workload names (default: the bench suite)",
+    )
+    bench.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated syn: scenario names (default: three families; "
+        "pass an empty string to skip scenarios)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="interleaved timing repetitions per engine (default 3, best-of)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="trace-length multiplier (default: 1.0, the figures' scale)",
+    )
+    bench.add_argument(
+        "--num-cpus", type=int, default=16, metavar="N", help="vCPU count"
+    )
+    bench.add_argument(
+        "--protocol",
+        default="hatric",
+        choices=("software", "unitd", "hatric", "ideal"),
+        help="translation coherence protocol of the benchmarked machine",
+    )
+    bench.add_argument(
+        "--tag",
+        type=int,
+        default=DEFAULT_BENCH_TAG,
+        metavar="N",
+        help=f"trajectory tag stamped into the payload (default "
+        f"{DEFAULT_BENCH_TAG}; one tag per PR)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print JSON instead of a table"
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON payload to PATH (the BENCH_<tag>.json "
+        "trajectory format)",
+    )
+
+
+def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.perf.bench import (
+        DEFAULT_SCENARIOS,
+        DEFAULT_WORKLOADS,
+        bench_payload,
+        default_cases,
+        format_bench,
+        run_bench,
+    )
+
+    workloads: Sequence[str] = DEFAULT_WORKLOADS
+    if args.workloads is not None:
+        workloads = tuple(
+            w.strip() for w in args.workloads.split(",") if w.strip()
+        )
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS
+    if args.scenarios is not None:
+        scenarios = tuple(
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        )
+    report = run_bench(
+        cases=default_cases(
+            workloads=workloads,
+            scenarios=scenarios,
+            num_cpus=args.num_cpus,
+            protocol=args.protocol,
+        ),
+        repeats=args.repeats,
+        scale=_scale_from_args(args),
+        tag=args.tag,
+    )
+    payload = bench_payload(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    text = json.dumps(payload, indent=2) if args.json else format_bench(report)
+    return text, 0 if report.all_identical else 1
 
 
 def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -264,7 +378,9 @@ def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:
         metavar="syn:...",
         help="explicit canonical scenario name; repeatable",
     )
-    spec_opts.add_argument("--seed", type=int, default=0, help="scenario seed")
+    spec_opts.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="scenario seed"
+    )
     spec_opts.add_argument(
         "--address", default=None, choices=sorted(ADDRESS_MODELS),
         help="override the family's address-stream model",
@@ -294,8 +410,15 @@ def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:
         "generate", parents=[spec_opts],
         help="generate a trace and print its summary (no simulation)",
     )
-    generate.add_argument("--json", action="store_true")
-    generate.add_argument("--output", default=None, metavar="PATH")
+    generate.add_argument(
+        "--json", action="store_true", help="print JSON instead of a table"
+    )
+    generate.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the printed output to PATH",
+    )
 
     run = commands.add_parser(
         "run", parents=[common, spec_opts],
@@ -317,13 +440,19 @@ def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:
         help="differential invariant check over a seed matrix",
     )
     diff.add_argument(
-        "--protocols", default=",".join(SCENARIO_PROTOCOLS), metavar="P1,P2,..."
+        "--protocols",
+        default=",".join(SCENARIO_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: {','.join(SCENARIO_PROTOCOLS)})",
     )
     diff.add_argument(
         "--seeds", default="0,1,2,3", metavar="S1,S2,...",
         help="seed matrix: one scenario per (family, seed) pair",
     )
-    diff.add_argument("--no-cache", action="store_true")
+    diff.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (on by default here)",
+    )
 
 
 def _emit(text: str, output: Optional[str]) -> None:
@@ -575,6 +704,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "scenario":
             text, code = _run_scenario(args)
             _emit(text, getattr(args, "output", None))
+            return code
+        if args.command == "bench":
+            text, code = _run_bench(args)
+            print(text)
             return code
         if args.command == "sweep":
             text = _run_sweep(args)

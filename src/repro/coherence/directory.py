@@ -45,7 +45,7 @@ class SharerKind(Enum):
     NTLB = "ntlb"
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one cache line."""
 

@@ -21,7 +21,7 @@ from repro.translation.structures import MMUCache, NestedTLB, TLB
 from repro.translation.walker import AddressSpaceContext, PageTableWalker
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationOutcome:
     """Result of translating one guest virtual page on a core.
 

@@ -15,7 +15,7 @@ from typing import Optional
 from repro.translation.address import CACHE_LINE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """State of one resident cache line."""
 

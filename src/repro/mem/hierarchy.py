@@ -25,7 +25,7 @@ class CoherenceListener(Protocol):
         """A line left a CPU's private caches entirely."""
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one memory reference through the hierarchy.
 

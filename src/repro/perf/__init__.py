@@ -1,0 +1,33 @@
+"""Performance measurement: the engine benchmark harness.
+
+``python -m repro bench`` (and :func:`repro.perf.bench.run_bench`) time
+the reference and fast simulation engines against each other across the
+figure workloads and synthetic scenario families, verify that both
+engines produce bit-identical results, and emit the ``BENCH_<tag>.json``
+trajectory files that make speedups comparable across PRs (see
+``docs/PERFORMANCE.md``).
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_BENCH_TAG,
+    BenchCase,
+    BenchRecord,
+    BenchReport,
+    bench_payload,
+    default_cases,
+    format_bench,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "BenchRecord",
+    "BenchReport",
+    "DEFAULT_BENCH_TAG",
+    "bench_payload",
+    "default_cases",
+    "format_bench",
+    "run_bench",
+]

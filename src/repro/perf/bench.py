@@ -1,0 +1,285 @@
+"""Reference-vs-fast engine benchmark harness (``python -m repro bench``).
+
+Each :class:`BenchCase` names one (workload, machine) point.  The
+harness generates the trace once per case, runs it on both engines
+``repeats`` times (interleaved, best-of CPU time, so platform noise and
+frequency wobble hit both engines alike), verifies the results are
+bit-identical, and reports per-case speedups plus a geometric mean.
+
+The committed ``BENCH_<tag>.json`` files at the repository root form
+the performance trajectory of the project: one file per PR that changed
+performance-relevant code, produced by ``python -m repro bench --output
+BENCH_<tag>.json`` at default scale.  ``docs/PERFORMANCE.md`` explains
+how to read them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.api.scale import ExperimentScale
+from repro.sim.config import SystemConfig
+from repro.sim.engine import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    diff_fingerprints,
+    result_fingerprint,
+)
+from repro.sim.simulator import SimulationResult, Simulator, resolve_trace
+from repro.workloads import make_workload
+
+#: Version of the BENCH_*.json payload layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Tag of the bench file this revision of the repository commits
+#: (``BENCH_<tag>.json``).  Bumped by every PR that records a new point
+#: on the performance trajectory.
+DEFAULT_BENCH_TAG = 3
+
+#: Figure workloads timed by default: the paper's five big-memory
+#: workloads plus two small-footprint (Figure 11) applications.
+DEFAULT_WORKLOADS = (
+    "canneal",
+    "data_caching",
+    "graph500",
+    "tunkrank",
+    "facesim",
+    "blackscholes",
+    "swaptions",
+)
+
+#: Synthetic scenario families timed by default (one canonical scenario
+#: each; see ``python -m repro scenario list``).
+DEFAULT_SCENARIOS = (
+    "syn:migration-daemon/seed=7",
+    "syn:compaction/seed=7",
+    "syn:steady/seed=7",
+)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark point: a workload on a machine configuration."""
+
+    workload: str
+    num_cpus: int = 16
+    protocol: str = "hatric"
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        """Display name of the case."""
+        if self.label:
+            return self.label
+        return f"{self.workload}@{self.num_cpus}cpu/{self.protocol}"
+
+
+@dataclass
+class BenchRecord:
+    """Measured outcome of one case."""
+
+    case: BenchCase
+    reference_seconds: float
+    fast_seconds: float
+    references: int
+    runtime_cycles: int
+    identical: bool
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        """Reference time over fast time (higher is better)."""
+        if self.fast_seconds <= 0.0:
+            return float("inf")
+        return self.reference_seconds / self.fast_seconds
+
+    @property
+    def fast_refs_per_second(self) -> float:
+        """Simulated references retired per wall second (fast engine)."""
+        if self.fast_seconds <= 0.0:
+            return float("inf")
+        return self.references / self.fast_seconds
+
+
+@dataclass
+class BenchReport:
+    """All records of one harness run plus run-wide metadata."""
+
+    records: list[BenchRecord] = field(default_factory=list)
+    trace_scale: float = 1.0
+    tag: int = DEFAULT_BENCH_TAG
+
+    @property
+    def geomean_speedup(self) -> float:
+        """Geometric-mean speedup across all cases."""
+        if not self.records:
+            return 0.0
+        return math.exp(
+            sum(math.log(r.speedup) for r in self.records) / len(self.records)
+        )
+
+    @property
+    def all_identical(self) -> bool:
+        """True when every case produced bit-identical engine results."""
+        return all(record.identical for record in self.records)
+
+    @property
+    def cases_at_least_2x(self) -> int:
+        """Number of cases where the fast engine is >= 2x faster."""
+        return sum(1 for record in self.records if record.speedup >= 2.0)
+
+
+def default_cases(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    num_cpus: int = 16,
+    protocol: str = "hatric",
+) -> list[BenchCase]:
+    """The default benchmark matrix: figure workloads plus scenarios."""
+    cases = [
+        BenchCase(workload=name, num_cpus=num_cpus, protocol=protocol)
+        for name in workloads
+    ]
+    cases += [
+        BenchCase(workload=name, num_cpus=num_cpus, protocol=protocol)
+        for name in scenarios
+    ]
+    return cases
+
+
+def _time_run(
+    config: SystemConfig, trace, warmup_fraction: float, engine: str
+) -> tuple[float, SimulationResult]:
+    """Build a fresh machine, run ``trace`` on ``engine``; return CPU time."""
+    simulator = Simulator(config, engine=engine)
+    started = time.process_time()
+    result = simulator.run(trace, warmup_fraction=warmup_fraction)
+    return time.process_time() - started, result
+
+
+def run_case(
+    case: BenchCase,
+    repeats: int = 3,
+    scale: Optional[ExperimentScale] = None,
+) -> BenchRecord:
+    """Benchmark one case; returns the record with both engine timings.
+
+    The trace is generated once and reused, so only engine execution is
+    timed.  Runs are interleaved (reference, fast, reference, fast, ...)
+    and the best CPU time per engine is kept, which makes the ratio
+    robust against background load and frequency scaling.
+    """
+    scale = scale or ExperimentScale()
+    config = SystemConfig(num_cpus=case.num_cpus, protocol=case.protocol)
+    workload = make_workload(case.workload)
+    trace = resolve_trace(
+        workload, config.num_cpus, config.seed, scale.refs_for(workload)
+    )
+
+    best = {ENGINE_REFERENCE: float("inf"), ENGINE_FAST: float("inf")}
+    results: dict[str, SimulationResult] = {}
+    for _ in range(max(1, repeats)):
+        for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+            seconds, result = _time_run(
+                config, trace, scale.warmup_fraction, engine
+            )
+            best[engine] = min(best[engine], seconds)
+            results[engine] = result
+
+    identical = not diff_fingerprints(
+        result_fingerprint(results[ENGINE_REFERENCE]),
+        result_fingerprint(results[ENGINE_FAST]),
+    )
+    fast = results[ENGINE_FAST]
+    return BenchRecord(
+        case=case,
+        reference_seconds=best[ENGINE_REFERENCE],
+        fast_seconds=best[ENGINE_FAST],
+        references=fast.stats.total_instructions + fast.warmup_references,
+        runtime_cycles=fast.runtime_cycles,
+        identical=identical,
+        repeats=max(1, repeats),
+    )
+
+
+def run_bench(
+    cases: Optional[Sequence[BenchCase]] = None,
+    repeats: int = 3,
+    scale: Optional[ExperimentScale] = None,
+    tag: int = DEFAULT_BENCH_TAG,
+) -> BenchReport:
+    """Run the benchmark matrix and return the full report."""
+    scale = scale or ExperimentScale()
+    report = BenchReport(trace_scale=scale.trace_scale, tag=tag)
+    for case in cases if cases is not None else default_cases():
+        report.records.append(run_case(case, repeats=repeats, scale=scale))
+    return report
+
+
+def bench_payload(report: BenchReport) -> dict[str, Any]:
+    """JSON-compatible payload of a report (the BENCH_*.json format)."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "tag": report.tag,
+        "trace_scale": report.trace_scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "geomean_speedup": round(report.geomean_speedup, 4),
+        "cases_at_least_2x": report.cases_at_least_2x,
+        "all_identical": report.all_identical,
+        "cases": [
+            {
+                "name": record.case.name,
+                "workload": record.case.workload,
+                "num_cpus": record.case.num_cpus,
+                "protocol": record.case.protocol,
+                "reference_seconds": round(record.reference_seconds, 4),
+                "fast_seconds": round(record.fast_seconds, 4),
+                "speedup": round(record.speedup, 4),
+                "references": record.references,
+                "fast_refs_per_second": round(record.fast_refs_per_second, 1),
+                "runtime_cycles": record.runtime_cycles,
+                "identical": record.identical,
+                "repeats": record.repeats,
+            }
+            for record in report.records
+        ],
+    }
+
+
+def format_bench(report: BenchReport) -> str:
+    """Human-readable table of a bench report."""
+    headers = ("case", "reference", "fast", "speedup", "refs/s", "identical")
+    rows = [
+        (
+            record.case.name,
+            f"{record.reference_seconds:.2f}s",
+            f"{record.fast_seconds:.2f}s",
+            f"{record.speedup:.2f}x",
+            f"{record.fast_refs_per_second:,.0f}",
+            "yes" if record.identical else "NO",
+        )
+        for record in report.records
+    ]
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    lines.append("")
+    lines.append(
+        f"geomean speedup {report.geomean_speedup:.2f}x over "
+        f"{len(report.records)} cases ({report.cases_at_least_2x} at >=2x), "
+        f"results {'bit-identical' if report.all_identical else 'DIVERGED'}"
+    )
+    return "\n".join(lines)

@@ -9,6 +9,15 @@ from repro.sim.config import (
     TranslationConfig,
 )
 from repro.sim.costs import CostModel
+from repro.sim.engine import (
+    ENGINE_DEFAULT,
+    ENGINE_ENV_VAR,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINES,
+    FastPathMismatchError,
+    resolve_engine,
+)
 from repro.sim.stats import EventCounter, MachineStats
 from repro.sim.simulator import SimulationResult, Simulator
 
@@ -16,7 +25,13 @@ __all__ = [
     "CacheConfig",
     "CoherenceDirectoryConfig",
     "CostModel",
+    "ENGINE_DEFAULT",
+    "ENGINE_ENV_VAR",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINES",
     "EventCounter",
+    "FastPathMismatchError",
     "MachineStats",
     "MemoryConfig",
     "PagingConfig",
@@ -24,4 +39,5 @@ __all__ = [
     "Simulator",
     "SystemConfig",
     "TranslationConfig",
+    "resolve_engine",
 ]

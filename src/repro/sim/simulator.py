@@ -22,6 +22,13 @@ from repro.core.cotag import CoTagScheme
 from repro.core.protocol import TranslationCoherenceProtocol, make_protocol
 from repro.cpu.chip import Chip
 from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.sim.engine import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    install_fast_paths,
+    make_executor,
+    resolve_engine,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.stats import MachineStats
 from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
@@ -44,6 +51,32 @@ WorkloadLike = Union[Workload, MultiprogrammedWorkload, WorkloadTrace]
 
 class TranslationCorrectnessError(AssertionError):
     """Raised in validation mode when a stale translation is observed."""
+
+
+def resolve_trace(
+    workload: WorkloadLike,
+    num_cpus: int,
+    seed: int,
+    refs_total: Optional[int] = None,
+) -> WorkloadTrace:
+    """Materialize a workload into per-vCPU streams for a machine shape.
+
+    Already-generated traces pass through unchanged; multiprogrammed
+    workloads get one vCPU per application (capped at ``num_cpus``),
+    multithreaded workloads one stream per CPU.  Fully deterministic
+    given the arguments.
+    """
+    if isinstance(workload, WorkloadTrace):
+        return workload
+    if isinstance(workload, MultiprogrammedWorkload):
+        return workload.generate(
+            num_vcpus=min(num_cpus, len(workload.specs)),
+            seed=seed,
+            refs_total=refs_total,
+        )
+    return workload.generate(
+        num_vcpus=num_cpus, seed=seed, refs_total=refs_total
+    )
 
 
 @dataclass
@@ -96,13 +129,25 @@ class SimulationResult:
 
 
 class Simulator:
-    """Builds one simulated machine and runs workloads on it."""
+    """Builds one simulated machine and runs workloads on it.
+
+    Args:
+        config: the machine to simulate.
+        validate: cross-check every translation against the page tables
+            (always runs on the reference engine).
+        energy_parameters: overrides for the energy model.
+        engine: execution engine, ``"reference"`` or ``"fast"`` (see
+            :mod:`repro.sim.engine`).  ``None`` consults the
+            ``REPRO_SIM_ENGINE`` environment variable and defaults to
+            the fast engine; both engines produce bit-identical results.
+    """
 
     def __init__(
         self,
         config: SystemConfig,
         validate: bool = False,
         energy_parameters: Optional[EnergyParameters] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.protocol: TranslationCoherenceProtocol = make_protocol(config.protocol)
         hypervisor_cls = XenHypervisor if config.hypervisor == "xen" else KvmHypervisor
@@ -133,6 +178,9 @@ class Simulator:
             ),
             fine_grained_directory=config.directory.fine_grained,
         )
+        self.engine = resolve_engine(engine, validate=validate)
+        if self.engine == ENGINE_FAST and not install_fast_paths(self.chip):
+            self.engine = ENGINE_REFERENCE  # pragma: no cover - exotic geometry
 
     # ------------------------------------------------------------------
     # running workloads
@@ -163,12 +211,13 @@ class Simulator:
         vm = self.hypervisor.create_vm(vcpu_pcpus=list(range(trace.num_vcpus)))
         processes = [vm.create_process() for _ in range(trace.num_processes)]
         contexts = [processes[p] for p in trace.process_of_vcpu]
+        executor = make_executor(self, trace, contexts)
 
         warmup_refs = 0
         if warmup_fraction > 0.0:
-            warmup_refs = self._execute(trace, contexts, fraction=warmup_fraction)
+            warmup_refs = executor.execute(fraction=warmup_fraction)
             self._reset_statistics()
-        self._execute(trace, contexts, fraction=1.0, skip_fraction=warmup_fraction)
+        executor.execute(fraction=1.0, skip_fraction=warmup_fraction)
 
         energy = self.energy_model.compute(self.chip, self.stats)
         per_app = self._per_app_cycles(trace)
@@ -187,18 +236,8 @@ class Simulator:
     def _resolve_trace(
         self, workload: WorkloadLike, refs_total: Optional[int]
     ) -> WorkloadTrace:
-        if isinstance(workload, WorkloadTrace):
-            return workload
-        if isinstance(workload, MultiprogrammedWorkload):
-            return workload.generate(
-                num_vcpus=min(self.config.num_cpus, len(workload.specs)),
-                seed=self.config.seed,
-                refs_total=refs_total,
-            )
-        return workload.generate(
-            num_vcpus=self.config.num_cpus,
-            seed=self.config.seed,
-            refs_total=refs_total,
+        return resolve_trace(
+            workload, self.config.num_cpus, self.config.seed, refs_total
         )
 
     def _execute(
@@ -208,7 +247,13 @@ class Simulator:
         fraction: float,
         skip_fraction: float = 0.0,
     ) -> int:
-        """Execute streams between ``skip_fraction`` and ``fraction``."""
+        """Execute streams between ``skip_fraction`` and ``fraction``.
+
+        This is the **reference engine** loop: one layered call path per
+        reference.  The fast engine (:mod:`repro.sim.engine`) must stay
+        bit-identical to it; treat this method and
+        :meth:`_execute_reference` as the specification.
+        """
         starts = [int(len(s) * skip_fraction) for s in trace.streams]
         ends = [int(len(s) * fraction) for s in trace.streams]
         positions = list(starts)

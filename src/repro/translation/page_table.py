@@ -27,7 +27,7 @@ from repro.translation.address import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One page table entry.
 

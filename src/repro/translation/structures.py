@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationEntry:
     """One cached translation.
 

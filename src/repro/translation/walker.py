@@ -61,7 +61,7 @@ class WalkStats:
     mmu_cache_hits: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of one two-dimensional page table walk.
 
@@ -87,7 +87,7 @@ class WalkResult:
     cotag: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _NestedTranslation:
     """Internal result of translating one GPP through the nested dimension."""
 

@@ -163,10 +163,19 @@ def generate_stream(
         chunk = np.where(is_cold, cold_choice, hot_choice)
         if spec.sequential_fraction > 0.0:
             sequential = rng.random(count) < spec.sequential_fraction
-            # A sequential visit follows its predecessor within the chunk.
-            for i in range(1, count):
-                if sequential[i]:
-                    chunk[i] = min(chunk[i - 1] + 1, spec.footprint_pages - 1)
+            # A sequential visit follows its predecessor within the
+            # chunk: for a run of sequential visits anchored at the last
+            # non-sequential position a, chunk[i] = min(chunk[a] + (i -
+            # a), footprint - 1) — the scalar recurrence min(chunk[i-1]
+            # + 1, cap) in closed form, computed with a prefix-maximum
+            # over anchor indexes instead of a Python loop.
+            sequential[0] = False
+            indexes = np.arange(count, dtype=np.int64)
+            anchors = np.where(sequential, 0, indexes)
+            np.maximum.accumulate(anchors, out=anchors)
+            chunk = np.minimum(
+                chunk[anchors] + (indexes - anchors), spec.footprint_pages - 1
+            )
         pages[produced : produced + count] = chunk
         produced += count
         phase_index += 1

@@ -196,3 +196,90 @@ class TestSpecMixes:
         mix = make_spec_mix(1)
         trace = mix.generate(num_vcpus=4, seed=1)
         assert trace.num_vcpus == 4
+
+
+class TestGenerateStreamVectorization:
+    """The numpy-vectorized sequential fix-up matches the scalar recurrence."""
+
+    @staticmethod
+    def _scalar_chunk(chunk, sequential, footprint_pages):
+        chunk = chunk.copy()
+        for i in range(1, len(chunk)):
+            if sequential[i]:
+                chunk[i] = min(chunk[i - 1] + 1, footprint_pages - 1)
+        return chunk
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    @pytest.mark.parametrize(
+        "workload_name", ["canneal", "facesim", "blackscholes"]
+    )
+    def test_streams_match_scalar_recurrence(self, workload_name, seed):
+        """End-to-end: regenerate a stream and replay the scalar fix-up.
+
+        Draws the same RNG sequence as generate_stream and applies the
+        original scalar loop; the vectorized generator must produce the
+        identical addresses (the golden figure snapshots additionally
+        pin this at the simulation level).
+        """
+        from repro.translation.address import PAGE_SIZE
+        from repro.workloads.suite import (
+            PAPER_WORKLOAD_SPECS,
+            SMALL_WORKLOAD_SPECS,
+        )
+
+        spec = {**PAPER_WORKLOAD_SPECS, **SMALL_WORKLOAD_SPECS}[workload_name]
+        addresses, writes = generate_stream(
+            spec, 5000, np.random.default_rng(seed), phase_start=seed
+        )
+
+        # scalar replay with an identical RNG stream
+        rng = np.random.default_rng(seed)
+        visits_needed = max(1, 5000 // spec.page_reuse + 1)
+        visits_per_phase = max(1, spec.phase_length_refs // spec.page_reuse)
+        pages = np.empty(visits_needed, dtype=np.int64)
+        hot_span = max(1, spec.footprint_pages - spec.hot_pages)
+        produced, phase_index = 0, seed
+        while produced < visits_needed:
+            count = min(visits_per_phase, visits_needed - produced)
+            hot_start = (phase_index * spec.drift_pages) % hot_span
+            is_cold = rng.random(count) < spec.cold_access_probability
+            hot_choice = hot_start + rng.integers(0, spec.hot_pages, count)
+            cold_choice = rng.integers(0, spec.footprint_pages, count)
+            chunk = np.where(is_cold, cold_choice, hot_choice)
+            if spec.sequential_fraction > 0.0:
+                sequential = rng.random(count) < spec.sequential_fraction
+                chunk = self._scalar_chunk(
+                    chunk, sequential, spec.footprint_pages
+                )
+            pages[produced : produced + count] = chunk
+            produced += count
+            phase_index += 1
+        repeated = np.repeat(pages, spec.page_reuse)[:5000]
+        offsets = rng.integers(0, PAGE_SIZE // 8, 5000) * 8
+        expected = ((spec.base_page + repeated) << PAGE_SHIFT) | offsets
+        expected_writes = rng.random(5000) < spec.write_fraction
+
+        assert np.array_equal(addresses, expected.astype(np.int64))
+        assert np.array_equal(writes, expected_writes)
+
+    def test_sequential_runs_cap_at_footprint(self):
+        spec = WorkloadSpec(
+            name="cap",
+            description="",
+            footprint_pages=8,
+            hot_pages=8,
+            cold_access_probability=0.0,
+            drift_pages=1,
+            phase_length_refs=64,
+            page_reuse=1,
+            sequential_fraction=1.0,
+            write_fraction=0.0,
+            refs_total=64,
+        )
+        addresses, _ = generate_stream(spec, 64, np.random.default_rng(1))
+        pages = (addresses >> PAGE_SHIFT) - spec.base_page
+        assert pages.max() <= spec.footprint_pages - 1
+        assert pages.min() >= 0
+        # fully-sequential streams are monotone within the cap
+        deltas = np.diff(pages)
+        assert ((deltas == 1) | (pages[1:] == spec.footprint_pages - 1)).all()
