@@ -25,7 +25,7 @@ from repro.api.request import (
 from repro.energy.model import EnergyBreakdown
 from repro.sim.remap_anatomy import AnatomyRow
 from repro.sim.simulator import SimulationResult
-from repro.sim.stats import CpuStats, EventCounter, MachineStats
+from repro.sim.stats import CpuStats, EventCounter, MachineStats, VmStats
 
 #: Either kind of result a session can produce.
 AnyResult = Union[SimulationResult, AnatomyRow]
@@ -48,12 +48,25 @@ def default_cache_dir() -> Path:
 # result (de)serialization
 # ----------------------------------------------------------------------
 def _encode_stats(stats: MachineStats) -> dict[str, Any]:
-    return {
+    payload = {
         "num_cpus": stats.num_cpus,
         "cpus": [dataclasses.asdict(cpu) for cpu in stats.cpus],
         "events": dict(stats.events),
         "background_cycles": stats.background_cycles,
     }
+    if stats.vms:
+        # only consolidated runs carry per-VM counters; single-VM
+        # entries stay byte-identical to the pre-multi-VM format
+        payload["vms"] = [
+            {
+                "busy_cycles": vm.busy_cycles,
+                "coherence_cycles": vm.coherence_cycles,
+                "instructions": vm.instructions,
+                "events": dict(vm.events),
+            }
+            for vm in stats.vms
+        ]
+    return payload
 
 
 def _decode_stats(data: Mapping[str, Any]) -> MachineStats:
@@ -61,6 +74,15 @@ def _decode_stats(data: Mapping[str, Any]) -> MachineStats:
     stats.cpus = [CpuStats(**cpu) for cpu in data["cpus"]]
     stats.events = EventCounter(data["events"])
     stats.background_cycles = data["background_cycles"]
+    stats.vms = [
+        VmStats(
+            busy_cycles=vm["busy_cycles"],
+            coherence_cycles=vm["coherence_cycles"],
+            instructions=vm["instructions"],
+            events=EventCounter(vm["events"]),
+        )
+        for vm in data.get("vms", [])
+    ]
     return stats
 
 
@@ -79,7 +101,7 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
             "schema": CACHE_SCHEMA_VERSION,
             **dataclasses.asdict(result),
         }
-    return {
+    payload = {
         "type": "simulation",
         "schema": CACHE_SCHEMA_VERSION,
         "config": config_to_dict(result.config),
@@ -93,6 +115,9 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
         "warmup_references": result.warmup_references,
         "per_app_cycles": dict(result.per_app_cycles),
     }
+    if result.vm_names:
+        payload["vm_names"] = list(result.vm_names)
+    return payload
 
 
 def decode_result(data: Mapping[str, Any]) -> AnyResult:
@@ -126,6 +151,7 @@ def decode_result(data: Mapping[str, Any]) -> AnyResult:
         ),
         warmup_references=data["warmup_references"],
         per_app_cycles=dict(data["per_app_cycles"]),
+        vm_names=list(data.get("vm_names", [])),
     )
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.sim.config import (
@@ -24,6 +24,7 @@ from repro.sim.config import (
     PagingConfig,
     SystemConfig,
     TranslationConfig,
+    VmTopology,
 )
 from repro.sim.costs import CostModel
 from repro.sim.engine import ENGINES
@@ -83,6 +84,13 @@ class RunRequest:
             cache key when explicitly non-default (letting benchmarks
             force a re-simulation on a specific engine without
             invalidating default-engine caches).
+        topology: optional :class:`~repro.sim.config.VmTopology` for a
+            consolidated multi-VM run.  Purely a construction
+            convenience: the topology is normalized into its canonical
+            ``multi:`` workload name (which must match ``workload`` when
+            both are given), so topology-built requests dedupe and cache
+            exactly like name-built ones and the cache key payload is
+            unchanged.
     """
 
     config: SystemConfig
@@ -91,12 +99,24 @@ class RunRequest:
     refs_total: Optional[int] = None
     experiment: str = EXPERIMENT_TRACE
     engine: str = ""
+    # compare=False: the canonical workload name (normalized in
+    # __post_init__) already captures the topology, so name-built and
+    # topology-built requests compare and hash equal.
+    topology: Optional[VmTopology] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENTS:
             raise ValueError(
                 f"experiment must be one of {EXPERIMENTS}, got {self.experiment!r}"
             )
+        if self.topology is not None:
+            name = self.topology.name
+            if self.workload and self.workload != name:
+                raise ValueError(
+                    f"workload {self.workload!r} does not match the "
+                    f"topology's canonical name {name!r}"
+                )
+            object.__setattr__(self, "workload", name)
         if self.experiment == EXPERIMENT_TRACE and not self.workload:
             raise ValueError("a trace request needs a workload name")
         if not 0.0 <= self.warmup_fraction < 1.0:

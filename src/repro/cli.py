@@ -14,6 +14,8 @@ optionally exports JSON.  Examples::
     python -m repro scenario run --family migration-daemon \\
         --protocols software,hatric,ideal --seed 7
     python -m repro scenario diff --seeds 0,1,2
+    python -m repro consolidation --guests 1,2 --sharing pinned,shared \\
+        --scale 0.3
     python -m repro bench --workloads facesim,swaptions --repeats 3 \\
         --output BENCH_3.json
 
@@ -244,9 +246,109 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hypervisor of the base system",
     )
 
+    _add_consolidation_parser(subparsers, common)
     _add_scenario_parser(subparsers, common)
     _add_bench_parser(subparsers)
     return parser
+
+
+def _add_consolidation_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    from repro.experiments.consolidation import CONSOLIDATION_PROTOCOLS
+
+    consolidation = subparsers.add_parser(
+        "consolidation",
+        parents=[common],
+        help="multi-VM consolidation study (protocol x guests x sharing)",
+        description=(
+            "Consolidate N copies of a tenant workload onto one machine "
+            "(multi: composed workloads), sweep the translation coherence "
+            "protocols over guest counts and vCPU sharing models, and "
+            "validate the differential invariants.  The exit code "
+            "reflects the invariant verdict."
+        ),
+    )
+    consolidation.add_argument(
+        "--guests",
+        default="1,2",
+        metavar="N1,N2,...",
+        help="guest counts to sweep (default 1,2)",
+    )
+    consolidation.add_argument(
+        "--sharing",
+        default="pinned,shared",
+        metavar="M1,M2,...",
+        help="vCPU placement models: pinned (dedicated pCPU blocks) "
+        "and/or shared (guests oversubscribe every pCPU)",
+    )
+    consolidation.add_argument(
+        "--protocols",
+        default=",".join(CONSOLIDATION_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: "
+        f"{','.join(CONSOLIDATION_PROTOCOLS)})",
+    )
+    consolidation.add_argument(
+        "--guest-workload",
+        default=None,
+        metavar="NAME",
+        help="per-guest tenant workload (suite, mixNN or syn: name; "
+        "default: the seeded migration-daemon scenario)",
+    )
+    consolidation.add_argument(
+        "--num-cpus",
+        type=int,
+        default=8,
+        metavar="N",
+        help="physical CPUs of the consolidated machine (default 8)",
+    )
+    consolidation.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="seed of the default tenant scenario",
+    )
+    consolidation.add_argument(
+        "--mem-share",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="give every guest this static fraction of die-stacked DRAM "
+        "instead of the shared pool",
+    )
+
+
+def _run_consolidation(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.experiments.consolidation import (
+        format_consolidation,
+        run_consolidation,
+    )
+
+    result = run_consolidation(
+        guest_counts=tuple(
+            int(g) for g in args.guests.split(",") if g.strip()
+        ),
+        sharing_models=tuple(
+            s.strip() for s in args.sharing.split(",") if s.strip()
+        ),
+        protocols=tuple(
+            p.strip() for p in args.protocols.split(",") if p.strip()
+        ),
+        guest_workload=args.guest_workload,
+        num_cpus=args.num_cpus,
+        seed=args.seed,
+        mem_share=args.mem_share,
+        scale=_scale_from_args(args),
+        session=_session_from_args(args),
+    )
+    if args.json:
+        payload = {
+            "cells": [dataclasses.asdict(cell) for cell in result.cells],
+            "violations": result.violations,
+            "ok": result.ok,
+        }
+        return json.dumps(payload, indent=2), 0 if result.ok else 1
+    return format_consolidation(result), 0 if result.ok else 1
 
 
 def _add_bench_parser(subparsers) -> None:
@@ -485,6 +587,10 @@ def _run_list() -> str:
         "  syn:FAMILY/... (synthetic scenarios; see 'python -m repro "
         "scenario list')"
     )
+    lines.append(
+        "  multi:WL[@VCPUS[:MEMSHARE]]+...[+share=shared] (consolidated "
+        "multi-VM compositions; see 'python -m repro consolidation')"
+    )
     return "\n".join(lines)
 
 
@@ -704,6 +810,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "scenario":
             text, code = _run_scenario(args)
             _emit(text, getattr(args, "output", None))
+            return code
+        if args.command == "consolidation":
+            text, code = _run_consolidation(args)
+            _emit(text, args.output)
             return code
         if args.command == "bench":
             text, code = _run_bench(args)

@@ -43,12 +43,22 @@ from repro.experiments.scenarios import (
     run_scenarios,
     sweep_scenarios,
 )
+from repro.experiments.consolidation import (
+    CONSOLIDATION_PROTOCOLS,
+    consolidation_topology,
+    format_consolidation,
+    run_consolidation,
+    sweep_consolidation,
+)
 
 __all__ = [
+    "CONSOLIDATION_PROTOCOLS",
     "ExperimentScale",
     "anatomy_requests",
     "baseline_config",
+    "consolidation_topology",
     "format_anatomy",
+    "format_consolidation",
     "format_figure10",
     "format_figure11_left",
     "format_figure11_right",
@@ -66,6 +76,7 @@ __all__ = [
     "format_xen_study",
     "run_anatomy",
     "run_configuration",
+    "run_consolidation",
     "run_differential",
     "run_scenarios",
     "run_figure10",
@@ -83,6 +94,7 @@ __all__ = [
     "sweep_figure11_right",
     "sweep_figure12",
     "sweep_figure13",
+    "sweep_consolidation",
     "sweep_figure2",
     "sweep_figure7",
     "sweep_figure8",

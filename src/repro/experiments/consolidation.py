@@ -1,0 +1,240 @@
+"""Consolidation study: protocol x guest-count x sharing-model sweep.
+
+The paper's headline claim is about *consolidated* virtualized systems:
+several guests share one machine, the hypervisor remaps pages under
+them, and software translation coherence pays cross-VM shootdowns that
+HATRIC's precise, co-tag-directed invalidation avoids.  This experiment
+makes that axis explicit.  Each grid point is one ``multi:`` workload
+(N copies of a tenant workload, composed by
+:mod:`repro.workloads.multi`) under one vCPU placement model:
+
+* ``pinned`` -- guests get dedicated pCPU blocks; a shootdown aimed at
+  one guest only lands on its own CPUs;
+* ``shared`` -- every guest spans the whole machine, so each pCPU's
+  translation structures serve several guests and a software shootdown
+  for one guest flushes the others' cached translations too.
+
+The sweep runs through the shared :class:`~repro.api.session.Session`,
+normalizes to the ideal protocol when present, and validates the
+differential invariants (ideal <= all, hatric <= software, identical
+retired references) for every consolidated shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments.runner import baseline_config
+from repro.experiments.scenarios import differential_violations
+from repro.sim.config import (
+    GuestConfig,
+    SystemConfig,
+    VM_SHARING_MODELS,
+    VM_SHARING_SHARED,
+    VmTopology,
+)
+from repro.workloads.multi import parse_topology_name
+from repro.workloads.synthetic import scenario_spec
+
+#: Protocols the consolidation study compares by default.
+CONSOLIDATION_PROTOCOLS = ("software", "hatric", "ideal")
+
+#: Guest counts swept by default.
+DEFAULT_GUEST_COUNTS = (1, 2)
+
+#: Default per-guest tenant workload: the migration-daemon scenario is
+#: the paper's steady-state remap source and separates the protocols at
+#: modest trace lengths.
+def default_guest_workload(seed: int = 7) -> str:
+    """Canonical name of the default tenant workload."""
+    return scenario_spec("migration-daemon", seed=seed).name
+
+
+def consolidation_topology(
+    guests: int,
+    sharing: str,
+    num_cpus: int,
+    guest_workload: str,
+    mem_share: Optional[float] = None,
+) -> VmTopology:
+    """The topology of one consolidation grid point.
+
+    Pinned guests split the machine evenly (``num_cpus // guests`` vCPUs
+    each); shared guests each span the whole machine, oversubscribing
+    every pCPU ``guests``-fold -- the classic consolidation shapes.
+    """
+    if guests <= 0:
+        raise ValueError("guests must be positive")
+    if sharing == VM_SHARING_SHARED:
+        vcpus = num_cpus
+    else:
+        vcpus = max(1, num_cpus // guests)
+    return VmTopology(
+        guests=tuple(
+            GuestConfig(workload=guest_workload, vcpus=vcpus, mem_share=mem_share)
+            for _ in range(guests)
+        ),
+        sharing=sharing,
+    )
+
+
+@dataclass
+class ConsolidationCell:
+    """One consolidated shape under one protocol."""
+
+    workload: str
+    guests: int
+    sharing: str
+    protocol: str
+    runtime_cycles: int
+    coherence_cycles: int
+    normalized_runtime: Optional[float] = None
+    #: per-VM breakdown (instructions, cycles, coherence, events).
+    per_vm: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class ConsolidationResult:
+    """The full grid plus its differential-invariant verdict."""
+
+    cells: list[ConsolidationCell] = field(default_factory=list)
+    #: workload name -> invariant violations (empty list = shape OK).
+    violations: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every consolidated shape satisfied every invariant."""
+        return not any(self.violations.values())
+
+    def value(self, guests: int, sharing: str, protocol: str) -> float:
+        """Headline metric of one cell (normalized when available)."""
+        for cell in self.cells:
+            if (
+                cell.guests == guests
+                and cell.sharing == sharing
+                and cell.protocol == protocol
+            ):
+                if cell.normalized_runtime is not None:
+                    return cell.normalized_runtime
+                return float(cell.runtime_cycles)
+        raise KeyError((guests, sharing, protocol))
+
+
+def sweep_consolidation(
+    topologies: Sequence[VmTopology],
+    protocols: Sequence[str] = CONSOLIDATION_PROTOCOLS,
+    base: Optional[SystemConfig] = None,
+) -> Sweep:
+    """The declarative sweep: every topology under every protocol."""
+    sweep = Sweep(
+        axes={
+            "workload": tuple(topology.name for topology in topologies),
+            "protocol": tuple(protocols),
+        },
+        base=base if base is not None else baseline_config(num_cpus=8),
+    )
+    if "ideal" in protocols:
+        sweep = sweep.normalize_to(protocol="ideal")
+    return sweep
+
+
+def run_consolidation(
+    guest_counts: Sequence[int] = DEFAULT_GUEST_COUNTS,
+    sharing_models: Sequence[str] = VM_SHARING_MODELS,
+    protocols: Sequence[str] = CONSOLIDATION_PROTOCOLS,
+    guest_workload: Optional[str] = None,
+    num_cpus: int = 8,
+    seed: int = 7,
+    mem_share: Optional[float] = None,
+    scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
+    base: Optional[SystemConfig] = None,
+) -> ConsolidationResult:
+    """Run the consolidation grid and validate every shape's invariants.
+
+    ``guest_workload`` names the tenant every guest runs (default: the
+    seeded migration-daemon scenario); ``mem_share`` optionally gives
+    every guest an equal static partition of die-stacked DRAM instead of
+    the shared pool.  With a single guest the placement models produce
+    identical machines (one guest spanning every pCPU either way), so
+    1-guest shapes run under the first sharing model only.
+    """
+    workload = (
+        guest_workload if guest_workload else default_guest_workload(seed)
+    )
+    if base is None:
+        base = baseline_config(num_cpus=num_cpus)
+    else:
+        num_cpus = base.num_cpus
+    topologies = [
+        consolidation_topology(
+            guests, sharing, num_cpus, workload, mem_share=mem_share
+        )
+        for guests in guest_counts
+        for sharing in (
+            sharing_models if guests > 1 else tuple(sharing_models)[:1]
+        )
+    ]
+    grid = sweep_consolidation(topologies, protocols, base=base).run(
+        session=session, scale=scale
+    )
+    result = ConsolidationResult()
+    per_shape: dict[str, dict[str, Any]] = {}
+    for cell in grid:
+        name = cell.coords["workload"]
+        protocol = cell.coords["protocol"]
+        topology = parse_topology_name(name)
+        per_shape.setdefault(name, {})[protocol] = cell.result
+        result.cells.append(
+            ConsolidationCell(
+                workload=name,
+                guests=topology.num_guests,
+                sharing=topology.sharing,
+                protocol=protocol,
+                runtime_cycles=cell.result.runtime_cycles,
+                coherence_cycles=cell.result.coherence_cycles,
+                normalized_runtime=(
+                    cell.normalized_runtime
+                    if cell.baseline is not None
+                    else None
+                ),
+                per_vm=cell.result.per_vm_summary(),
+            )
+        )
+    for name, results in per_shape.items():
+        result.violations[name] = differential_violations(results)
+    return result
+
+
+def format_consolidation(result: ConsolidationResult) -> str:
+    """Render the grid: one row per consolidated shape.
+
+    Values are runtimes normalized to the ideal protocol when it was in
+    the sweep (raw cycles otherwise); the footer is the invariant
+    verdict.
+    """
+    protocols = list(dict.fromkeys(cell.protocol for cell in result.cells))
+    shapes = list(
+        dict.fromkeys((cell.guests, cell.sharing) for cell in result.cells)
+    )
+    labels = {shape: f"{shape[0]} guest(s), {shape[1]}" for shape in shapes}
+    name_width = max([len("shape")] + [len(l) for l in labels.values()])
+    header = f"{'shape':<{name_width}}" + "".join(
+        f"{p:>12}" for p in protocols
+    )
+    lines = [header, "-" * len(header)]
+    for shape in shapes:
+        values = ""
+        for protocol in protocols:
+            value = result.value(shape[0], shape[1], protocol)
+            values += f"{value:>12.3f}" if value < 1e6 else f"{value:>12.3e}"
+        lines.append(f"{labels[shape]:<{name_width}}{values}")
+    if result.ok:
+        lines.append("differential invariants: OK")
+    else:
+        for name, violations in result.violations.items():
+            for violation in violations:
+                lines.append(f"VIOLATION {name}: {violation}")
+    return "\n".join(lines)

@@ -26,6 +26,111 @@ PLACEMENT_FAST_ONLY = "fast-only"
 PLACEMENT_PAGED = "paged"
 PLACEMENTS = (PLACEMENT_SLOW_ONLY, PLACEMENT_FAST_ONLY, PLACEMENT_PAGED)
 
+#: vCPU-to-pCPU placement models for consolidated guests.
+VM_SHARING_PINNED = "pinned"
+VM_SHARING_SHARED = "shared"
+VM_SHARING_MODELS = (VM_SHARING_PINNED, VM_SHARING_SHARED)
+
+
+@dataclass(frozen=True)
+class GuestConfig:
+    """One guest VM of a consolidated (multi-tenant) machine.
+
+    Attributes:
+        workload: per-guest workload name, resolvable by
+            :func:`repro.workloads.make_workload` (suite names, ``mixNN``
+            and ``syn:`` scenarios all work).
+        vcpus: virtual CPUs the guest runs.
+        mem_share: optional fraction of die-stacked DRAM the hypervisor
+            lets this guest keep resident.  ``None`` (the default) means
+            the guest competes in the shared global pool; a positive
+            fraction caps its resident data pages at ``mem_share *
+            fast_frames`` (static partitioning, enforced by evicting the
+            guest's own oldest resident page first).
+    """
+
+    workload: str
+    vcpus: int = 1
+    mem_share: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("a guest needs a workload name")
+        if "+" in self.workload or "@" in self.workload:
+            raise ValueError(
+                f"guest workload name {self.workload!r} may not contain "
+                f"'+' or '@' (reserved by the multi: name grammar)"
+            )
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if self.mem_share is not None and not 0.0 < self.mem_share <= 1.0:
+            raise ValueError("mem_share must be in (0, 1] when given")
+
+
+@dataclass(frozen=True)
+class VmTopology:
+    """Multi-tenant machine shape: N guests and how they map onto pCPUs.
+
+    Attributes:
+        guests: the consolidated guests, in vCPU-assignment order.
+        sharing: vCPU-to-pCPU placement model.  ``"pinned"`` gives each
+            guest a dedicated, consecutive block of physical CPUs (the
+            total vCPU count must fit the machine); ``"shared"`` maps
+            guest ``i``'s vCPU ``j`` onto pCPU ``j % num_cpus``, so
+            guests time-share (oversubscribe) the same physical CPUs and
+            a software shootdown aimed at one guest lands on CPUs whose
+            translation structures also serve the others.
+
+    The canonical :attr:`name` (``multi:wl[@vcpus[:share]]+...`` with a
+    trailing ``+share=shared`` segment when not pinned) round-trips via
+    :func:`repro.workloads.multi.parse_topology_name` and is what flows
+    through :class:`~repro.api.request.RunRequest` for stable cache keys.
+    """
+
+    guests: tuple[GuestConfig, ...]
+    sharing: str = VM_SHARING_PINNED
+
+    def __post_init__(self) -> None:
+        if not self.guests:
+            raise ValueError("a topology needs at least one guest")
+        if self.sharing not in VM_SHARING_MODELS:
+            raise ValueError(
+                f"unknown sharing model {self.sharing!r}; known: "
+                f"{', '.join(VM_SHARING_MODELS)}"
+            )
+        shares = [g.mem_share for g in self.guests if g.mem_share is not None]
+        if shares and sum(shares) > 1.0 + 1e-9:
+            raise ValueError("guest mem_shares sum to more than 1.0")
+
+    @property
+    def num_guests(self) -> int:
+        """Number of consolidated guests."""
+        return len(self.guests)
+
+    @property
+    def total_vcpus(self) -> int:
+        """Total virtual CPUs across all guests."""
+        return sum(guest.vcpus for guest in self.guests)
+
+    @property
+    def name(self) -> str:
+        """Canonical ``multi:`` workload name of this topology.
+
+        Default fields are omitted, so equal topologies always produce
+        equal names (and hence equal request cache keys).
+        """
+        segments = []
+        for guest in self.guests:
+            segment = guest.workload
+            if guest.mem_share is not None:
+                segment += f"@{guest.vcpus}:{guest.mem_share!r}"
+            elif guest.vcpus != 1:
+                segment += f"@{guest.vcpus}"
+            segments.append(segment)
+        if self.sharing != VM_SHARING_PINNED:
+            segments.append(f"share={self.sharing}")
+        return "multi:" + "+".join(segments)
+
 
 @dataclass(frozen=True)
 class CacheConfig:

@@ -816,6 +816,12 @@ class FastPathExecutor:
         # per reference in the inner loop.
         self._gvas = [stream.tolist() for stream in trace.streams]
         self._writes = [flags.tolist() for flags in trace.writes]
+        # Stream-to-pCPU placement (identity for legacy traces) and the
+        # per-VM attribution map, mirroring Simulator._execute exactly.
+        self._pcpus = trace.pcpu_of_vcpu or list(range(trace.num_vcpus))
+        self._vm_of_stream = (
+            trace.vm_of_vcpu if simulator.stats.vms else None
+        )
         # Memoize the page tables the traced contexts walk.
         installed: set[int] = set()
         for ctx in contexts:
@@ -862,28 +868,35 @@ class FastPathExecutor:
             active = True
             while active:
                 active = False
-                for cpu in range(trace.num_vcpus):
-                    pos = positions[cpu]
-                    end = min(pos + _INTERLEAVE_CHUNK, ends[cpu])
+                for vcpu in range(trace.num_vcpus):
+                    pos = positions[vcpu]
+                    end = min(pos + _INTERLEAVE_CHUNK, ends[vcpu])
                     if pos >= end:
                         continue
                     active = True
-                    executed += self._run_chunk(cpu, pos, end)
-                    positions[cpu] = end
+                    executed += self._run_chunk(vcpu, pos, end)
+                    positions[vcpu] = end
         finally:
             if gc_was_enabled:
                 gc.enable()
         return executed
 
-    def _run_chunk(self, cpu: int, pos: int, end: int) -> int:
+    def _run_chunk(self, vcpu: int, pos: int, end: int) -> int:
         """Retire one vCPU's chunk ``[pos, end)``; return references run."""
         sim = self.simulator
-        ctx = self.contexts[cpu]
-        gvas = self._gvas[cpu]
-        writes = self._writes[cpu]
+        ctx = self.contexts[vcpu]
+        gvas = self._gvas[vcpu]
+        writes = self._writes[vcpu]
+        cpu = self._pcpus[vcpu]
         core = sim.chip.cores[cpu]
         stats = sim.stats
         cpu_stats = stats.cpus[cpu]
+        vm_stats = None
+        if self._vm_of_stream is not None:
+            # chunk boundary: hand the pCPU to this stream's guest
+            # (reference-engine attribution order)
+            stats.vm_of_cpu[cpu] = self._vm_of_stream[vcpu]
+            vm_stats = stats.vms[self._vm_of_stream[vcpu]]
         costs = sim.config.costs
         l1_tlb_latency = costs.l1_tlb_latency
         l2_tlb_latency = costs.l2_tlb_latency
@@ -1004,6 +1017,9 @@ class FastPathExecutor:
         if instructions:
             cpu_stats.instructions += instructions
             cpu_stats.busy_cycles += warm_refs * warm_cost + extra_cycles
+            if vm_stats is not None:
+                vm_stats.instructions += instructions
+                vm_stats.busy_cycles += warm_refs * warm_cost + extra_cycles
             tlb1_stats = tlb1.stats
             tlb1_stats.lookups += tlb1_lookups
             tlb1_stats.hits += tlb1_hits
@@ -1030,6 +1046,9 @@ class FastPathExecutor:
         sim = self.simulator
         stats = sim.stats
         cpu_stats = stats.cpus[cpu]
+        # cycle charges below go through stats.charge_cpu, which owns the
+        # per-VM attribution (vm_of_cpu) shared with the reference engine
+        charge_cpu = stats.charge_cpu
         core = sim.chip.cores[cpu]
         costs = sim.config.costs
         l1_tlb_latency = costs.l1_tlb_latency
@@ -1038,6 +1057,8 @@ class FastPathExecutor:
         tlb2 = core.tlb_l2
         walker_walk = core.walker.walk
         cpu_stats.instructions += 1
+        if stats.vms:
+            stats.vms[stats.vm_of_cpu[cpu]].instructions += 1
         gvp = gva >> PAGE_SHIFT
         key = (ctx.vm_id, gvp)
         spp = 0
@@ -1072,23 +1093,22 @@ class FastPathExecutor:
                     cycles += walk.cycles
                     spp = walk.spp
                     fault = walk.fault
-            cpu_stats.busy_cycles += cycles
+            charge_cpu(cpu, cycles)
             if fault is None:
                 break
             if fault == "guest":
                 ctx.ensure_guest_mapping(gvp)
-                cpu_stats.busy_cycles += costs.page_fault_overhead // 2
+                charge_cpu(cpu, costs.page_fault_overhead // 2)
                 stats.count("guest.minor_faults")
             elif fault == "nested":
                 gpp = ctx.gpp_of(gvp)
                 if gpp is None:
                     ctx.ensure_guest_mapping(gvp)
                     gpp = ctx.gpp_of(gvp)
-                # evaluate BEFORE adding: the handler charges eviction and
-                # coherence cycles to this same counter internally, and
-                # `x += f()` reads x before calling f
+                # evaluate BEFORE charging: the handler charges eviction
+                # and coherence cycles to the same counters internally
                 fault_cycles = sim.hypervisor.handle_nested_fault(ctx, gpp, cpu)
-                cpu_stats.busy_cycles += fault_cycles
+                charge_cpu(cpu, fault_cycles)
         else:
             raise RuntimeError(
                 f"reference to gva {gva:#x} did not resolve after "
@@ -1101,8 +1121,7 @@ class FastPathExecutor:
         if sim.hypervisor.on_data_access(spp, cpu):
             stats.count("paging.defrag_access_stalls")
         spa = (spp << PAGE_SHIFT) | (gva & (PAGE_SIZE - 1))
-        data_cycles = core.hierarchy.access_cycles(spa, is_write)
-        cpu_stats.busy_cycles += data_cycles
+        charge_cpu(cpu, core.hierarchy.access_cycles(spa, is_write))
 
 
 def make_executor(simulator: "Simulator", trace, contexts):
@@ -1131,6 +1150,11 @@ def result_fingerprint(result: "SimulationResult") -> dict[str, Any]:
         "energy_static": result.energy.static,
         "energy_components": dict(result.energy.components),
         "per_app_cycles": dict(result.per_app_cycles),
+        "vm_names": list(result.vm_names),
+        "vms": [
+            (v.busy_cycles, v.coherence_cycles, v.instructions, dict(v.events))
+            for v in stats.vms
+        ],
     }
 
 
@@ -1194,6 +1218,11 @@ def machine_digest(simulator: "Simulator") -> dict[str, Any]:
     digest["hypervisor"] = {
         "resident": dict(hypervisor.resident),
         "backing": dict(hypervisor.backing),
+        "vm_resident": {
+            vm_id: sorted(pages)
+            for vm_id, pages in hypervisor._vm_pages.items()
+            if pages
+        },
     }
     return digest
 

@@ -89,6 +89,9 @@ class SimulationResult:
     energy: EnergyBreakdown
     warmup_references: int = 0
     per_app_cycles: dict[str, int] = field(default_factory=dict)
+    #: per-VM display names for consolidated runs (aligned with
+    #: ``stats.vms``); empty for legacy single-VM runs.
+    vm_names: list[str] = field(default_factory=list)
 
     @property
     def runtime_cycles(self) -> int:
@@ -126,6 +129,45 @@ class SimulationResult:
         if baseline.energy_total == 0:
             raise ValueError("baseline energy is zero")
         return self.energy_total / baseline.energy_total
+
+    def per_vm_energy(self) -> list[float]:
+        """Total energy attributed to each VM by its busy-cycle share.
+
+        The energy model has no per-VM instrumentation, so the split is
+        proportional; the shares sum to :attr:`energy_total` (modulo
+        floating point) by construction.
+        """
+        vms = self.stats.vms
+        if not vms:
+            return []
+        total_busy = sum(vm.busy_cycles for vm in vms)
+        if total_busy == 0:
+            return [self.energy_total / len(vms)] * len(vms)
+        return [
+            self.energy_total * vm.busy_cycles / total_busy for vm in vms
+        ]
+
+    def per_vm_summary(self) -> list[dict]:
+        """JSON-friendly per-VM breakdown of a consolidated run."""
+        energies = self.per_vm_energy()
+        summaries = []
+        for index, vm in enumerate(self.stats.vms):
+            name = (
+                self.vm_names[index]
+                if index < len(self.vm_names)
+                else f"vm{index}"
+            )
+            summaries.append(
+                {
+                    "vm": name,
+                    "instructions": vm.instructions,
+                    "busy_cycles": vm.busy_cycles,
+                    "coherence_cycles": vm.coherence_cycles,
+                    "energy": energies[index],
+                    "events": dict(vm.events),
+                }
+            )
+        return summaries
 
 
 class Simulator:
@@ -200,17 +242,11 @@ class Simulator:
         50-billion-reference traces.
         """
         trace = self._resolve_trace(workload, refs_total)
-        if trace.num_vcpus > self.config.num_cpus:
-            raise ValueError(
-                f"trace needs {trace.num_vcpus} vCPUs but the system has "
-                f"{self.config.num_cpus} CPUs"
-            )
+        self._validate_trace_shape(trace)
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
 
-        vm = self.hypervisor.create_vm(vcpu_pcpus=list(range(trace.num_vcpus)))
-        processes = [vm.create_process() for _ in range(trace.num_processes)]
-        contexts = [processes[p] for p in trace.process_of_vcpu]
+        contexts = self._create_guests(trace)
         executor = make_executor(self, trace, contexts)
 
         warmup_refs = 0
@@ -228,7 +264,85 @@ class Simulator:
             energy=energy,
             warmup_references=warmup_refs,
             per_app_cycles=per_app,
+            vm_names=list(trace.vm_names or []),
         )
+
+    def _validate_trace_shape(self, trace: WorkloadTrace) -> None:
+        if trace.pcpu_of_vcpu is not None:
+            if len(trace.pcpu_of_vcpu) != trace.num_vcpus:
+                raise ValueError("pcpu_of_vcpu must name one pCPU per stream")
+            if not all(
+                0 <= pcpu < self.config.num_cpus
+                for pcpu in trace.pcpu_of_vcpu
+            ):
+                raise ValueError(
+                    f"trace pins streams to pCPUs {trace.pcpu_of_vcpu} but "
+                    f"the system has CPUs 0..{self.config.num_cpus - 1}"
+                )
+        elif trace.num_vcpus > self.config.num_cpus:
+            raise ValueError(
+                f"trace needs {trace.num_vcpus} vCPUs but the system has "
+                f"{self.config.num_cpus} CPUs"
+            )
+        if trace.vm_of_vcpu is not None:
+            if len(trace.vm_of_vcpu) != trace.num_vcpus:
+                raise ValueError("vm_of_vcpu must name one VM per stream")
+            if min(trace.vm_of_vcpu) < 0:
+                raise ValueError("vm_of_vcpu indices must be non-negative")
+
+    def _create_guests(self, trace: WorkloadTrace) -> list[GuestProcess]:
+        """Create the trace's VMs and guest processes; return per-stream
+        address-space contexts.
+
+        Legacy (single-VM) traces take the historical path unchanged:
+        one VM spanning the trace's streams.  Multi-VM traces create one
+        VM per guest with its own nested page table and pCPU affinity,
+        switch on per-VM statistics, and install any per-guest
+        die-stacked memory caps the topology declares.
+        """
+        pcpus = trace.pcpu_of_vcpu or list(range(trace.num_vcpus))
+        vm_of_vcpu = trace.vm_of_vcpu
+        if vm_of_vcpu is None:
+            vm = self.hypervisor.create_vm(vcpu_pcpus=pcpus)
+            processes = [vm.create_process() for _ in range(trace.num_processes)]
+            return [processes[p] for p in trace.process_of_vcpu]
+
+        num_vms = trace.num_vms
+        vms = []
+        for index in range(num_vms):
+            vcpu_pcpus = [
+                pcpus[s]
+                for s in range(trace.num_vcpus)
+                if vm_of_vcpu[s] == index
+            ]
+            if not vcpu_pcpus:
+                raise ValueError(f"VM {index} has no vCPU streams")
+            vm = self.hypervisor.create_vm(vcpu_pcpus=vcpu_pcpus)
+            vm.stats_index = index
+            vms.append(vm)
+
+        vm_of_process: dict[int, int] = {}
+        for stream, process in enumerate(trace.process_of_vcpu):
+            owner = vm_of_process.setdefault(process, vm_of_vcpu[stream])
+            if owner != vm_of_vcpu[stream]:
+                raise ValueError(f"process {process} spans more than one VM")
+        processes = [
+            vms[vm_of_process[p]].create_process()
+            for p in range(trace.num_processes)
+        ]
+
+        self.stats.configure_vms(num_vms)
+        for stream in range(trace.num_vcpus - 1, -1, -1):
+            # seed the scheduling map with each pCPU's first stream
+            self.stats.vm_of_cpu[pcpus[stream]] = vm_of_vcpu[stream]
+        if trace.topology is not None:
+            usable = self.chip.memory.fast.num_frames
+            for index, guest in enumerate(trace.topology.guests):
+                if guest.mem_share is not None:
+                    self.hypervisor.set_vm_fast_cap(
+                        vms[index].vm_id, max(1, int(guest.mem_share * usable))
+                    )
+        return [processes[p] for p in trace.process_of_vcpu]
 
     # ------------------------------------------------------------------
     # execution internals
@@ -253,29 +367,43 @@ class Simulator:
         reference.  The fast engine (:mod:`repro.sim.engine`) must stay
         bit-identical to it; treat this method and
         :meth:`_execute_reference` as the specification.
+
+        Streams map to physical CPUs through ``trace.pcpu_of_vcpu``
+        (identity when absent); on consolidated machines two guests'
+        streams may share a pCPU, which the round-robin chunks
+        time-multiplex.  On multi-VM traces the per-VM scheduling map
+        (:attr:`MachineStats.vm_of_cpu`) is updated at every chunk
+        boundary so cycle charges land on the guest the pCPU is
+        executing.
         """
         starts = [int(len(s) * skip_fraction) for s in trace.streams]
         ends = [int(len(s) * fraction) for s in trace.streams]
         positions = list(starts)
+        pcpus = trace.pcpu_of_vcpu or list(range(trace.num_vcpus))
+        vm_of_stream = trace.vm_of_vcpu if self.stats.vms else None
+        vm_of_cpu = self.stats.vm_of_cpu
         executed = 0
         active = True
         while active:
             active = False
-            for cpu in range(trace.num_vcpus):
-                pos = positions[cpu]
-                end = min(pos + _INTERLEAVE_CHUNK, ends[cpu])
+            for vcpu in range(trace.num_vcpus):
+                pos = positions[vcpu]
+                end = min(pos + _INTERLEAVE_CHUNK, ends[vcpu])
                 if pos >= end:
                     continue
                 active = True
-                stream = trace.streams[cpu]
-                writes = trace.writes[cpu]
-                ctx = contexts[cpu]
+                cpu = pcpus[vcpu]
+                if vm_of_stream is not None:
+                    vm_of_cpu[cpu] = vm_of_stream[vcpu]
+                stream = trace.streams[vcpu]
+                writes = trace.writes[vcpu]
+                ctx = contexts[vcpu]
                 for index in range(pos, end):
                     self._execute_reference(
                         cpu, ctx, int(stream[index]), bool(writes[index])
                     )
                     executed += 1
-                positions[cpu] = end
+                positions[vcpu] = end
         return executed
 
     def _execute_reference(
@@ -284,6 +412,8 @@ class Simulator:
         core = self.chip.core(cpu)
         stats = self.stats
         stats.cpus[cpu].instructions += 1
+        if stats.vms:
+            stats.vms[stats.vm_of_cpu[cpu]].instructions += 1
         gvp = gva >> PAGE_SHIFT
         offset = gva & (PAGE_SIZE - 1)
 
@@ -347,9 +477,12 @@ class Simulator:
 
         Applications are labelled with the real per-vCPU workload names
         carried by the trace, falling back to positional labels for
-        traces built before the names were recorded.
+        traces built before the names were recorded.  Multi-VM traces
+        report per-guest accounting through ``stats.vms`` instead: with
+        pCPUs potentially time-shared between guests, a per-stream CPU
+        readout would double-count.
         """
-        if trace.num_processes <= 1:
+        if trace.num_processes <= 1 or trace.vm_of_vcpu is not None:
             return {}
         per_app: dict[str, int] = {}
         for cpu in range(trace.num_vcpus):

@@ -44,6 +44,30 @@ class CpuStats:
 
 
 @dataclass
+class VmStats:
+    """Per-guest-VM accounting on a consolidated machine.
+
+    Cycles are attributed to the VM whose reference a CPU was executing
+    when the charge landed (see :attr:`MachineStats.vm_of_cpu`), so the
+    target-side cost of a shootdown aimed at guest A but paid on a CPU
+    currently running guest B is booked against B -- exactly the
+    cross-VM interference the paper quantifies.  Events are attributed
+    to the VM the event acted on (the faulting guest, the remap victim).
+    """
+
+    busy_cycles: int = 0
+    coherence_cycles: int = 0
+    instructions: int = 0
+    events: EventCounter = field(default_factory=EventCounter)
+
+    def charge(self, cycles: int, coherence: bool = False) -> None:
+        """Add ``cycles`` of work, optionally tagged as coherence overhead."""
+        self.busy_cycles += cycles
+        if coherence:
+            self.coherence_cycles += cycles
+
+
+@dataclass
 class MachineStats:
     """Aggregated statistics for one simulation run."""
 
@@ -53,22 +77,37 @@ class MachineStats:
     #: cycles charged to background activity (migration daemon) rather
     #: than any CPU's critical path.
     background_cycles: int = 0
+    #: per-guest-VM counters; empty on single-VM machines, where per-VM
+    #: tracking is disabled entirely (zero overhead, identical results).
+    vms: list[VmStats] = field(default_factory=list)
+    #: VM index currently executing on each pCPU; the executors update
+    #: it as their round-robin hands a pCPU to another guest's stream.
+    #: Scheduling state, not a statistic: it survives ``reset``.
+    vm_of_cpu: list[int] = field(init=False)
 
     def __post_init__(self) -> None:
         self.cpus = [CpuStats() for _ in range(self.num_cpus)]
+        self.vm_of_cpu = [0] * self.num_cpus
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
+    def configure_vms(self, num_vms: int) -> None:
+        """Enable per-VM tracking for a consolidated run."""
+        self.vms = [VmStats() for _ in range(num_vms)]
+
     def reset(self) -> None:
         """Zero every counter (used when discarding warmup statistics)."""
         self.cpus = [CpuStats() for _ in range(self.num_cpus)]
         self.events = EventCounter()
         self.background_cycles = 0
+        self.vms = [VmStats() for _ in self.vms]
 
     def charge_cpu(self, cpu: int, cycles: int, coherence: bool = False) -> None:
         """Charge cycles to one CPU's critical path."""
         self.cpus[cpu].charge(cycles, coherence)
+        if self.vms:
+            self.vms[self.vm_of_cpu[cpu]].charge(cycles, coherence)
 
     def charge_background(self, cycles: int) -> None:
         """Charge cycles to background (off critical path) work."""
@@ -77,6 +116,11 @@ class MachineStats:
     def count(self, event: str, n: int = 1) -> None:
         """Count an event occurrence."""
         self.events.add(event, n)
+
+    def count_vm(self, vm_index: int, event: str, n: int = 1) -> None:
+        """Count an event against one guest VM (no-op when not tracking)."""
+        if self.vms and 0 <= vm_index < len(self.vms):
+            self.vms[vm_index].events.add(event, n)
 
     # ------------------------------------------------------------------
     # derived metrics

@@ -66,6 +66,14 @@ class Hypervisor:
         self.backing: dict[PageKey, int] = {}
         #: accesses observed since the last defragmentation remap.
         self._accesses_since_defrag = 0
+        #: per-VM caps on resident die-stacked data pages (static memory
+        #: partitioning between consolidated guests); absent = the VM
+        #: competes in the shared global pool.
+        self._vm_fast_caps: dict[int, int] = {}
+        #: per-VM insertion-ordered resident keys: cap enforcement reads
+        #: a VM's residency as the map's length and its oldest resident
+        #: page as the first key, both O(1).
+        self._vm_pages: dict[int, dict[PageKey, None]] = {}
 
     # ------------------------------------------------------------------
     # VM lifecycle
@@ -85,6 +93,26 @@ class Hypervisor:
     def vm(self, vm_id: int) -> VirtualMachine:
         """Return a VM by id."""
         return self._vms[vm_id]
+
+    def set_vm_fast_cap(self, vm_id: int, frames: int) -> None:
+        """Cap a VM's resident die-stacked data pages at ``frames``.
+
+        Once the VM reaches its cap, faulting in another of its pages
+        first evicts the VM's own oldest resident page, so one guest's
+        churn cannot displace a partitioned neighbour's hot set.
+        """
+        if frames <= 0:
+            raise ValueError("a VM's fast-tier cap must be positive")
+        self._vm_fast_caps[vm_id] = frames
+
+    def _count_vm(self, vm: VirtualMachine, event: str, n: int = 1) -> None:
+        """Mirror a global event counter against one guest VM.
+
+        A no-op when the VM carries no stats index (single-VM machines
+        and VMs created outside a tracked multi-VM run).
+        """
+        if vm.stats_index is not None:
+            self.stats.count_vm(vm.stats_index, event, n)
 
     # ------------------------------------------------------------------
     # frame allocation helpers
@@ -122,6 +150,7 @@ class Hypervisor:
     ) -> int:
         """Handle a nested page fault for a data page; return cycles charged."""
         self.stats.count("paging.nested_faults")
+        self._count_vm(process.vm, "paging.nested_faults")
         placement = self.config.placement
         if placement == PLACEMENT_SLOW_ONLY:
             return self._map_simple(process.vm, gpp, self.memory.slow)
@@ -133,6 +162,7 @@ class Hypervisor:
         spp = tier.allocate()
         vm.nested_page_table.map(gpp, spp)
         self.stats.count("paging.first_touch")
+        self._count_vm(vm, "paging.first_touch")
         return self.costs.page_fault_overhead
 
     def _handle_paged_fault(
@@ -152,6 +182,7 @@ class Hypervisor:
             )
             cycles += extra
             self.stats.count("paging.prefetches")
+            self._count_vm(vm, "paging.prefetches")
 
         if self.config.paging.migration_daemon:
             self._run_migration_daemon(cpu)
@@ -168,6 +199,15 @@ class Hypervisor:
         key = (vm.vm_id, gpp)
         cycles = self.costs.page_fault_overhead if charge_fault_overhead else 0
 
+        cap = self._vm_fast_caps.get(vm.vm_id)
+        if cap is not None:
+            while len(self._vm_pages.get(vm.vm_id, ())) >= cap:
+                evicted = self._evict_one(
+                    cpu, background=False, victim=self._own_victim(vm.vm_id)
+                )
+                if evicted == 0:  # pragma: no cover - cap implies residents
+                    break
+                cycles += evicted
         while self.memory.fast.free_frames < 1:
             evicted = self._evict_one(cpu, background=False)
             if evicted == 0:
@@ -182,26 +222,53 @@ class Hypervisor:
             self.memory.slow.free(slow_spp)
             cycles += self.costs.page_copy
             self.stats.count("paging.demand_migrations")
+            self._count_vm(vm, "paging.demand_migrations")
         else:
             # First touch: zero-fill, roughly half a page copy's traffic.
             cycles += self.costs.page_copy // 2
             self.stats.count("paging.first_touch")
+            self._count_vm(vm, "paging.first_touch")
 
         vm.nested_page_table.map(gpp, fast_spp)
         self.resident[key] = fast_spp
         self._resident_by_spp[fast_spp] = key
+        self._vm_pages.setdefault(vm.vm_id, {})[key] = None
         self.policy.on_page_resident(key)
         return cycles, fast_spp
 
-    def _evict_one(self, initiator_cpu: int, background: bool) -> int:
-        """Evict one page from die-stacked DRAM; return initiator cycles."""
-        key = self.policy.select_victim()
+    def _own_victim(self, vm_id: int) -> Optional[PageKey]:
+        """The capped VM's own eviction victim: its oldest resident page.
+
+        The per-VM key map is insertion-ordered (pages re-enter it on
+        every fault-in), so its first key is the VM's oldest resident
+        page -- FIFO within the partition, deterministic.
+        """
+        pages = self._vm_pages.get(vm_id)
+        if not pages:
+            return None
+        return next(iter(pages))
+
+    def _evict_one(
+        self,
+        initiator_cpu: int,
+        background: bool,
+        victim: Optional[PageKey] = None,
+    ) -> int:
+        """Evict one page from die-stacked DRAM; return initiator cycles.
+
+        ``victim`` overrides the paging policy's global choice (used by
+        per-VM cap enforcement to evict the capped guest's own page).
+        """
+        key = victim if victim is not None else self.policy.select_victim()
         if key is None:
             return 0
         vm_id, gpp = key
         vm = self._vms[vm_id]
         fast_spp = self.resident.pop(key)
         self._resident_by_spp.pop(fast_spp, None)
+        vm_pages = self._vm_pages.get(vm_id)
+        if vm_pages is not None:
+            vm_pages.pop(key, None)
         leaf = vm.nested_page_table.lookup(gpp)
         pte_address = leaf.address
         old_spp = leaf.pfn
@@ -218,6 +285,8 @@ class Hypervisor:
         else:
             self.stats.charge_cpu(initiator_cpu, cycles)
         self.stats.count("paging.evictions")
+        self._count_vm(vm, "paging.evictions")
+        self._count_vm(vm, "coherence.remaps")
 
         event = RemapEvent(
             initiator_cpu=initiator_cpu,
@@ -286,6 +355,8 @@ class Hypervisor:
         cycles = self.costs.page_copy
         self.stats.charge_cpu(cpu, cycles)
         self.stats.count("paging.defrag_remaps")
+        self._count_vm(vm, "paging.defrag_remaps")
+        self._count_vm(vm, "coherence.remaps")
         event = RemapEvent(
             initiator_cpu=cpu,
             target_cpus=vm.target_cpus,
@@ -311,6 +382,10 @@ class Hypervisor:
     def evicted_pages(self) -> int:
         """Data pages currently parked in off-chip DRAM."""
         return len(self.backing)
+
+    def resident_pages_of(self, vm_id: int) -> int:
+        """Data pages one VM currently keeps in die-stacked DRAM."""
+        return len(self._vm_pages.get(vm_id, ()))
 
     @classmethod
     def adjust_costs(cls, costs):

@@ -13,7 +13,7 @@ instance can manage die-stacked DRAM shared by several VMs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from typing import Hashable, Optional
 
 PageKey = Hashable
@@ -46,40 +46,41 @@ class PagingPolicy(ABC):
 
 
 class FifoPolicy(PagingPolicy):
-    """Evict pages in the order they became resident."""
+    """Evict pages in the order they became resident.
+
+    The queue is an insertion-ordered map so that pages evicted by the
+    caller *without* going through :meth:`select_victim` (per-VM memory
+    cap enforcement picks its own victims) leave no stale queue entry
+    behind -- a stale entry would make a later global eviction pick a
+    just-re-faulted page instead of the true oldest resident.
+    """
 
     name = "fifo"
 
     def __init__(self) -> None:
-        self._queue: deque[PageKey] = deque()
-        self._resident: set[PageKey] = set()
+        self._queue: OrderedDict[PageKey, None] = OrderedDict()
 
     def on_page_resident(self, key: PageKey) -> None:
-        if key in self._resident:
-            return
-        self._resident.add(key)
-        self._queue.append(key)
+        self._queue.setdefault(key, None)
 
     def on_access(self, key: PageKey) -> None:
         # FIFO ignores recency.
         return
 
     def on_page_evicted(self, key: PageKey) -> None:
-        self._resident.discard(key)
+        self._queue.pop(key, None)
 
     def select_victim(self) -> Optional[PageKey]:
-        while self._queue:
-            key = self._queue.popleft()
-            if key in self._resident:
-                # The caller will confirm the eviction via on_page_evicted;
-                # remove it from the resident set now so repeated calls do
-                # not return the same victim.
-                self._resident.discard(key)
-                return key
-        return None
+        if not self._queue:
+            return None
+        # The caller will confirm the eviction via on_page_evicted;
+        # remove the key now so repeated calls do not return the same
+        # victim.
+        key, _ = self._queue.popitem(last=False)
+        return key
 
     def __len__(self) -> int:
-        return len(self._resident)
+        return len(self._queue)
 
 
 class ClockPolicy(PagingPolicy):

@@ -85,6 +85,10 @@ class VirtualMachine:
     ) -> None:
         self.vm_id = vm_id
         self.hypervisor = hypervisor
+        #: index of this VM in the machine's per-VM statistics
+        #: (:attr:`repro.sim.stats.MachineStats.vms`); None when the run
+        #: does not track per-VM counters.
+        self.stats_index: Optional[int] = None
         self.vcpus = [VCpu(i, pcpu) for i, pcpu in enumerate(vcpu_pcpus)]
         self.nested_page_table = NestedPageTable(
             hypervisor.allocate_nested_table_frame

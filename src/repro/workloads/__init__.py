@@ -31,6 +31,12 @@ from repro.workloads.synthetic import (
     parse_scenario_name,
     scenario_spec,
 )
+from repro.workloads.multi import (
+    MULTI_PREFIX,
+    MultiVmWorkload,
+    make_multi_workload,
+    parse_topology_name,
+)
 
 #: Registry of every named (non-mix) workload.
 WORKLOADS: dict[str, WorkloadSpec] = {
@@ -45,14 +51,18 @@ def make_workload(name: str) -> Workload:
     Accepts the paper suite and small-footprint suite by name,
     multiprogrammed SPEC mixes as ``mixNN`` (16 applications, the
     paper's shape) or ``mixNNxM`` (``M`` applications, used by
-    scaled-down runs), and synthetic scenarios as canonical
+    scaled-down runs), synthetic scenarios as canonical
     ``syn:family/key=value/...`` names (see
-    :mod:`repro.workloads.synthetic`).
+    :mod:`repro.workloads.synthetic`), and consolidated multi-VM
+    compositions as ``multi:wl[@vcpus[:mem_share]]+...[+share=shared]``
+    names (see :mod:`repro.workloads.multi`).
     """
     if name in WORKLOADS:
         return Workload(WORKLOADS[name])
     if name.startswith(SCENARIO_PREFIX):
         return make_scenario(name)
+    if name.startswith(MULTI_PREFIX):
+        return make_multi_workload(name)
     if name.startswith("mix"):
         index_part, sep, apps_part = name[3:].partition("x")
         if not (sep and not apps_part):  # reject a trailing "x" with no count
@@ -63,12 +73,14 @@ def make_workload(name: str) -> Workload:
                 pass
             else:
                 return make_spec_mix(index, apps_per_mix=apps)
-    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM, syn:..."
+    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM, syn:..., multi:..."
     raise ValueError(f"unknown workload {name!r}; known: {known}")
 
 
 __all__ = [
     "APPS_PER_MIX",
+    "MULTI_PREFIX",
+    "MultiVmWorkload",
     "MultiprogrammedWorkload",
     "NUM_MIXES",
     "PAPER_WORKLOAD_SPECS",
@@ -83,12 +95,14 @@ __all__ = [
     "WorkloadTrace",
     "all_mixes",
     "generate_stream",
+    "make_multi_workload",
     "make_paper_workload",
     "make_scenario",
     "make_small_workload",
     "make_spec_mix",
     "make_workload",
     "parse_scenario_name",
+    "parse_topology_name",
     "scenario_spec",
     "spec_app_names",
 ]

@@ -25,11 +25,14 @@ application.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import VmTopology
 
 
 @dataclass(frozen=True)
@@ -99,6 +102,16 @@ class WorkloadTrace:
         app_names: per-vCPU application names for multiprogrammed
             traces (None for multithreaded workloads, where every vCPU
             runs the same application).
+        vm_of_vcpu: guest VM index of each vCPU stream (None = the
+            legacy single-VM shape, where every stream belongs to one
+            implicit VM).
+        pcpu_of_vcpu: physical CPU each stream is pinned to (None =
+            identity, stream ``i`` on pCPU ``i``).  Under consolidated
+            sharing two streams may map to the same pCPU; the simulator
+            time-multiplexes them in its round-robin chunks.
+        vm_names: per-VM display names (aligned with VM indices).
+        topology: the :class:`~repro.sim.config.VmTopology` the trace
+            was composed from, when it came from a ``multi:`` workload.
     """
 
     name: str
@@ -107,11 +120,22 @@ class WorkloadTrace:
     process_of_vcpu: list[int]
     num_processes: int
     app_names: Optional[list[str]] = None
+    vm_of_vcpu: Optional[list[int]] = None
+    pcpu_of_vcpu: Optional[list[int]] = None
+    vm_names: Optional[list[str]] = None
+    topology: Optional["VmTopology"] = None
 
     @property
     def num_vcpus(self) -> int:
         """Number of vCPU streams in the trace."""
         return len(self.streams)
+
+    @property
+    def num_vms(self) -> int:
+        """Number of guest VMs the trace spans (1 for legacy traces)."""
+        if self.vm_of_vcpu is None:
+            return 1
+        return max(self.vm_of_vcpu) + 1
 
     @property
     def total_references(self) -> int:

@@ -1,0 +1,262 @@
+"""Multi-VM workload composition: consolidated guests as one trace.
+
+The paper's headline setting is a *consolidated* virtualized machine:
+several guests share the physical CPUs and the die-stacked DRAM, and
+hypervisor-induced remaps (migration, ballooning, compaction) aimed at
+one guest interfere with the others.  This module composes any existing
+workloads -- suite names, ``mixNN`` mixes, ``syn:`` scenarios -- into a
+single :class:`~repro.workloads.base.WorkloadTrace` spanning N guest
+VMs, described by a :class:`~repro.sim.config.VmTopology`.
+
+Canonical names (``multi:``) make topologies flow through
+:class:`~repro.api.request.RunRequest` / ``Session`` / ``Sweep`` with
+stable cache keys::
+
+    multi:<guest>[+<guest>...][+share=shared]
+    guest := <workload>[@<vcpus>[:<mem_share>]]
+
+Examples::
+
+    multi:canneal@4+facesim@4                 # two pinned guests
+    multi:syn:migration-daemon/seed=7@4+syn:migration-daemon/seed=8@4+share=shared
+    multi:data_caching@4:0.25+graph500@4:0.75 # static memory partitioning
+
+``@vcpus`` defaults to 1; ``:mem_share`` caps the guest's resident
+die-stacked pages (see :class:`~repro.sim.config.GuestConfig`); the
+trailing ``share=`` segment selects the vCPU placement model (default
+``pinned``).  Workload names never contain ``+`` or ``@``, so the
+grammar is unambiguous even for ``syn:`` names full of ``/`` and ``=``.
+
+Per-guest traces are generated with independently mixed seeds, so two
+guests running the *same* workload name still execute distinct (but
+deterministic) reference streams -- the standard consolidation shape of
+"N copies of the tenant workload".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.config import (
+    GuestConfig,
+    VM_SHARING_PINNED,
+    VM_SHARING_SHARED,
+    VmTopology,
+)
+from repro.workloads.base import WorkloadTrace
+
+#: Prefix identifying multi-VM composed workload names.
+MULTI_PREFIX = "multi:"
+
+
+def parse_topology_name(name: str) -> VmTopology:
+    """Parse a canonical ``multi:...`` name back into a :class:`VmTopology`."""
+    if not name.startswith(MULTI_PREFIX):
+        raise ValueError(f"topology names start with {MULTI_PREFIX!r}: {name!r}")
+    body = name[len(MULTI_PREFIX):]
+    if not body:
+        raise ValueError("empty multi-VM workload name")
+    segments = body.split("+")
+    sharing = VM_SHARING_PINNED
+    if segments and segments[-1].startswith("share="):
+        sharing = segments.pop()[len("share="):]
+    guests = []
+    for segment in segments:
+        if not segment:
+            raise ValueError(f"empty guest segment in {name!r}")
+        workload, sep, suffix = segment.rpartition("@")
+        if not sep:
+            guests.append(GuestConfig(workload=segment))
+            continue
+        vcpus_part, sep, share_part = suffix.partition(":")
+        try:
+            vcpus = int(vcpus_part)
+            mem_share = float(share_part) if sep else None
+        except ValueError:
+            raise ValueError(
+                f"bad guest suffix {suffix!r} in {name!r}; expected "
+                f"@vcpus or @vcpus:mem_share"
+            ) from None
+        guests.append(
+            GuestConfig(workload=workload, vcpus=vcpus, mem_share=mem_share)
+        )
+    return VmTopology(guests=tuple(guests), sharing=sharing)
+
+
+class MultiVmWorkload:
+    """A consolidated multi-guest workload, duck-compatible with the rest.
+
+    Satisfies everything :class:`~repro.sim.simulator.Simulator` and
+    :class:`~repro.api.scale.ExperimentScale` expect from a workload:
+    ``name``, ``spec.refs_total``, ``multiprogrammed`` and
+    ``generate(num_vcpus, seed, refs_total)``.
+    """
+
+    multiprogrammed = True
+
+    def __init__(self, topology: VmTopology) -> None:
+        self.topology = topology
+        # Resolved lazily (and only once) so that constructing the
+        # workload object never imports the registry at module load.
+        self._guest_workloads = None
+
+    @property
+    def name(self) -> str:
+        """Canonical ``multi:`` name."""
+        return self.topology.name
+
+    @property
+    def spec(self):
+        """Aggregate spec view: only ``refs_total`` is meaningful."""
+        return _AggregateSpec(self._default_refs())
+
+    def _resolve_guests(self):
+        if self._guest_workloads is None:
+            from repro.workloads import make_workload
+
+            self._guest_workloads = [
+                make_workload(guest.workload) for guest in self.topology.guests
+            ]
+        return self._guest_workloads
+
+    def _default_refs(self) -> int:
+        total = 0
+        for workload in self._resolve_guests():
+            specs = getattr(workload, "specs", None)
+            if specs is not None:  # multiprogrammed mix guest
+                total += sum(spec.refs_total for spec in specs)
+            else:
+                total += workload.spec.refs_total
+        return total
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        num_vcpus: Optional[int] = None,
+        seed: int = 42,
+        refs_total: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Compose per-guest traces into one multi-VM trace.
+
+        ``num_vcpus`` is the machine's physical CPU count.  Under
+        ``pinned`` sharing the guests receive consecutive dedicated
+        pCPU blocks (their total vCPU count must fit); under ``shared``
+        sharing guest ``i``'s vCPU ``j`` runs on pCPU ``j % num_vcpus``,
+        so guests overlap and time-share the machine.
+
+        ``refs_total`` is split across guests proportionally to their
+        vCPU counts; ``None`` lets each guest use its own default.
+        Generation is fully deterministic given (topology, seed,
+        num_vcpus, refs_total) and independent of generation order.
+        """
+        topology = self.topology
+        num_pcpus = num_vcpus if num_vcpus is not None else topology.total_vcpus
+        if num_pcpus <= 0:
+            raise ValueError("num_vcpus must be positive")
+        pcpu_blocks = self._placement(num_pcpus)
+
+        guest_workloads = self._resolve_guests()
+        total_vcpus = topology.total_vcpus
+        entropy = seed % 2**32
+
+        streams: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        process_of_vcpu: list[int] = []
+        vm_of_vcpu: list[int] = []
+        pcpu_of_vcpu: list[int] = []
+        app_names: list[str] = []
+        process_base = 0
+        for index, (guest, workload) in enumerate(
+            zip(topology.guests, guest_workloads)
+        ):
+            guest_refs = None
+            if refs_total is not None:
+                guest_refs = max(1, refs_total * guest.vcpus // total_vcpus)
+            guest_seed = int(
+                np.random.default_rng((entropy, 311, index)).integers(
+                    0, 2**63 - 1
+                )
+            )
+            trace = workload.generate(
+                num_vcpus=guest.vcpus, seed=guest_seed, refs_total=guest_refs
+            )
+            if trace.num_vcpus > guest.vcpus:
+                raise ValueError(
+                    f"guest {guest.workload!r} generated {trace.num_vcpus} "
+                    f"streams for {guest.vcpus} vCPUs"
+                )
+            for vcpu, stream in enumerate(trace.streams):
+                streams.append(stream)
+                writes.append(trace.writes[vcpu])
+                process_of_vcpu.append(
+                    process_base + trace.process_of_vcpu[vcpu]
+                )
+                vm_of_vcpu.append(index)
+                pcpu_of_vcpu.append(pcpu_blocks[index][vcpu])
+                if trace.app_names is not None:
+                    app_names.append(f"vm{index}.{trace.app_names[vcpu]}")
+                else:
+                    app_names.append(f"vm{index}.{trace.name}")
+            process_base += trace.num_processes
+        return WorkloadTrace(
+            name=topology.name,
+            streams=streams,
+            writes=writes,
+            process_of_vcpu=process_of_vcpu,
+            num_processes=process_base,
+            app_names=app_names,
+            vm_of_vcpu=vm_of_vcpu,
+            pcpu_of_vcpu=pcpu_of_vcpu,
+            vm_names=[
+                f"vm{index}:{guest.workload}"
+                for index, guest in enumerate(topology.guests)
+            ],
+            topology=topology,
+        )
+
+    def _placement(self, num_pcpus: int) -> list[list[int]]:
+        """Per-guest pCPU assignment lists, one pCPU per guest vCPU."""
+        topology = self.topology
+        if topology.sharing == VM_SHARING_SHARED:
+            return [
+                [vcpu % num_pcpus for vcpu in range(guest.vcpus)]
+                for guest in topology.guests
+            ]
+        if topology.total_vcpus > num_pcpus:
+            raise ValueError(
+                f"pinned topology needs {topology.total_vcpus} pCPUs but "
+                f"the machine has {num_pcpus}; use sharing='shared' to "
+                f"oversubscribe"
+            )
+        blocks = []
+        offset = 0
+        for guest in topology.guests:
+            blocks.append(list(range(offset, offset + guest.vcpus)))
+            offset += guest.vcpus
+        return blocks
+
+
+class _AggregateSpec:
+    """Minimal spec facade carrying the composed default trace length."""
+
+    __slots__ = ("refs_total",)
+
+    def __init__(self, refs_total: int) -> None:
+        self.refs_total = refs_total
+
+
+def make_multi_workload(name_or_topology: str | VmTopology) -> MultiVmWorkload:
+    """Build a :class:`MultiVmWorkload` from a ``multi:`` name or topology."""
+    if isinstance(name_or_topology, VmTopology):
+        return MultiVmWorkload(name_or_topology)
+    return MultiVmWorkload(parse_topology_name(name_or_topology))
+
+
+__all__ = [
+    "MULTI_PREFIX",
+    "MultiVmWorkload",
+    "make_multi_workload",
+    "parse_topology_name",
+]

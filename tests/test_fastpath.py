@@ -147,6 +147,27 @@ def test_paper_workload_small_scale_identical():
     assert_engines_identical(config, "data_caching", refs_total=8000)
 
 
+#: Multi-VM consolidated shapes: pinned blocks, shared (oversubscribed)
+#: pCPUs, mixed tenant workloads and a static memory partition, each a
+#: distinct engine code path (stream-to-pCPU mapping, per-VM stats,
+#: per-VM eviction caps).
+MULTI_VM_SHAPES = (
+    "multi:{a}@2+{b}@2".format,
+    "multi:{a}@4+{b}@4+share=shared".format,
+    "multi:{a}@2:0.3+{b}@2:0.3".format,
+)
+
+
+@pytest.mark.parametrize("shape", MULTI_VM_SHAPES)
+@pytest.mark.parametrize("protocol", ("software", "hatric", "ideal"))
+def test_multi_vm_configs_identical(shape, protocol):
+    name = shape(a=matrix_spec(1).name, b=matrix_spec(6).name)
+    config = _base_config().with_protocol(protocol)
+    result = assert_engines_identical(config, name)
+    assert len(result.stats.vms) == 2
+    assert all(vm.instructions > 0 for vm in result.stats.vms)
+
+
 def test_multiprogrammed_mix_identical():
     config = SystemConfig(num_cpus=4, protocol="hatric")
     assert_engines_identical(config, "mix04x4", refs_total=8000)

@@ -1,0 +1,157 @@
+"""Randomized differential fuzzing of multi-VM consolidated scenarios.
+
+Hypothesis generates consolidated machine shapes -- N guests, each
+running a randomized :class:`~repro.workloads.synthetic.ScenarioSpec`,
+under a random vCPU placement model -- and every generated shape is run
+on **both** execution engines under every protocol.  Two oracles make
+random inputs a strong test without any golden values:
+
+* the PR 2 cross-protocol invariants (ideal is never slower than a real
+  protocol, HATRIC never slower than the software shootdown, identical
+  retired reference counts, non-negative counters);
+* engine bit-identity: the fast engine must reproduce the reference
+  engine's results and final machine state exactly, and the per-VM
+  decomposition must conserve the global counters.
+
+The profile is derandomized (fixed example sequence) so CI failures
+reproduce; raise the budget locally with ``REPRO_FUZZ_EXAMPLES=50``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.scenarios import differential_violations
+from repro.sim.config import PagingConfig, VM_SHARING_SHARED
+from repro.sim.engine import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    diff_fingerprints,
+    machine_digest,
+    result_fingerprint,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads import make_workload
+from repro.workloads.synthetic import (
+    ADDRESS_MODELS,
+    FAMILY_PRESETS,
+    scenario_spec,
+)
+from tests.conftest import small_config
+
+#: Examples per fuzz property.  Each example simulates its shape on two
+#: engines under three protocols, so the default budget stays CI-sized;
+#: REPRO_FUZZ_EXAMPLES raises it for longer local hunts.
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "5"))
+
+PROTOCOLS = ("software", "hatric", "ideal")
+
+FUZZ_SETTINGS = settings(
+    max_examples=FUZZ_EXAMPLES,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _machine_config(protocol: str):
+    """The fuzz machine: small, daemon-driven, remap-prone."""
+    return small_config(
+        protocol=protocol,
+        paging=PagingConfig(
+            policy="lru",
+            migration_daemon=True,
+            daemon_free_target=16,
+            prefetch_pages=0,
+        ),
+    )
+
+
+@st.composite
+def guest_scenarios(draw) -> str:
+    """One randomized ``syn:`` guest scenario name."""
+    family = draw(st.sampled_from(sorted(FAMILY_PRESETS)))
+    spec = scenario_spec(
+        family,
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        address_model=draw(st.sampled_from(sorted(ADDRESS_MODELS))),
+        footprint_pages=draw(st.integers(min_value=280, max_value=460)),
+        hot_fraction=draw(
+            st.floats(min_value=0.3, max_value=0.9, allow_nan=False)
+        ),
+        refs_total=draw(st.integers(min_value=600, max_value=1200)),
+        burst_interval=draw(st.integers(min_value=60, max_value=160)),
+        burst_length=draw(st.integers(min_value=10, max_value=40)),
+        phase_length=draw(st.integers(min_value=60, max_value=160)),
+        shift_interval=draw(st.integers(min_value=80, max_value=200)),
+    )
+    return spec.name
+
+
+@st.composite
+def consolidated_names(draw) -> str:
+    """A randomized multi-VM ``multi:`` workload fitting the 4-CPU machine."""
+    num_guests = draw(st.integers(min_value=1, max_value=3))
+    guests = [draw(guest_scenarios()) for _ in range(num_guests)]
+    vcpus = [draw(st.integers(min_value=1, max_value=2)) for _ in guests]
+    shared = draw(st.booleans())
+    if not shared and sum(vcpus) > 4:
+        shared = True  # pinned shapes must fit the machine's 4 pCPUs
+    segments = [
+        f"{guest}@{count}" if count != 1 else guest
+        for guest, count in zip(guests, vcpus)
+    ]
+    if shared:
+        segments.append(f"share={VM_SHARING_SHARED}")
+    return "multi:" + "+".join(segments)
+
+
+def _run_both_engines(protocol: str, name: str):
+    """Run one shape on both engines; assert bit-identity; return result."""
+    outcomes = {}
+    for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+        simulator = Simulator(_machine_config(protocol), engine=engine)
+        result = simulator.run(make_workload(name))
+        outcomes[engine] = (simulator, result)
+    ref_sim, ref_result = outcomes[ENGINE_REFERENCE]
+    fast_sim, fast_result = outcomes[ENGINE_FAST]
+    differences = diff_fingerprints(
+        result_fingerprint(ref_result), result_fingerprint(fast_result)
+    ) + diff_fingerprints(machine_digest(ref_sim), machine_digest(fast_sim))
+    assert differences == [], "\n".join([name] + differences[:20])
+    return fast_result
+
+
+@given(consolidated_names())
+@FUZZ_SETTINGS
+def test_fuzzed_consolidations_hold_all_invariants(name):
+    results = {
+        protocol: _run_both_engines(protocol, name) for protocol in PROTOCOLS
+    }
+    assert differential_violations(results) == [], name
+    # per-VM decomposition conserves the global counters on every protocol
+    for protocol, result in results.items():
+        stats = result.stats
+        assert stats.vms, (name, protocol)
+        assert (
+            sum(vm.instructions for vm in stats.vms)
+            == stats.total_instructions
+        ), (name, protocol)
+        assert (
+            sum(vm.busy_cycles for vm in stats.vms) == stats.total_cycles
+        ), (name, protocol)
+        for event in set().union(*(vm.events.keys() for vm in stats.vms)):
+            assert (
+                sum(vm.events.get(event, 0) for vm in stats.vms)
+                == stats.events.get(event, 0)
+            ), (name, protocol, event)
+
+
+@given(guest_scenarios())
+@FUZZ_SETTINGS
+def test_fuzzed_single_guest_scenarios_match_engines(name):
+    """Plain (single-VM) randomized scenarios stay engine-identical too."""
+    result = _run_both_engines("hatric", name)
+    assert result.stats.total_instructions > 0

@@ -5,10 +5,12 @@ from hypothesis import given, settings, strategies as st
 from repro.core.cotag import CoTagScheme
 from repro.mem.cache import Cache
 from repro.mem.memory import FrameAllocator
+from repro.sim.config import MemoryConfig
 from repro.translation.address import PTE_SIZE, cache_line_of, level_index
-from repro.translation.page_table import RadixPageTable
+from repro.translation.page_table import NestedPageTable, RadixPageTable
 from repro.translation.structures import TLB
 from repro.virt.paging import ClockPolicy, FifoPolicy
+from tests.conftest import Machine, small_config
 
 # ----------------------------------------------------------------------
 # addresses and co-tags
@@ -93,6 +95,30 @@ def test_page_table_reflects_every_mapping(mappings):
     # Entry addresses are unique: no two mappings share a PTE slot.
     leaf_addresses = [table.lookup(vpn).address for vpn in mappings]
     assert len(set(leaf_addresses)) == len(leaf_addresses)
+
+
+@given(st.sets(vpns, min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_nested_page_table_map_unmap_round_trips(gpp_set):
+    """Nested map/unmap/remap round-trips: lookups always reflect the
+    latest operation and unmapping restores the pre-map state."""
+    counter = iter(range(100_000, 130_000))
+    table = NestedPageTable(lambda: next(counter))
+    for gpp in gpp_set:
+        entry = table.map(gpp, gpp + 1)
+        assert table.lookup(gpp) is entry and entry.pfn == gpp + 1
+    assert table.mapped_pages == len(gpp_set)
+    for gpp in gpp_set:
+        remapped = table.remap(gpp, gpp + 2)
+        assert table.lookup(gpp).pfn == gpp + 2
+        # the PTE address (what co-tags name) survives the remap
+        assert remapped.address == table.lookup(gpp).address
+    for gpp in gpp_set:
+        removed = table.unmap(gpp)
+        assert removed.pfn == gpp + 2
+        assert table.lookup(gpp) is None
+        assert len(table.walk_path(gpp)) < 4
+    assert table.mapped_pages == 0
 
 
 @given(st.sets(vpns, min_size=1, max_size=30))
@@ -204,6 +230,92 @@ def test_fifo_policy_victims_are_always_resident(operations):
 @settings(max_examples=50)
 def test_clock_policy_victims_are_always_resident(operations):
     _check_policy_invariants(ClockPolicy(), operations)
+
+
+# ----------------------------------------------------------------------
+# virtualization layer: multi-VM hypervisor invariants
+# ----------------------------------------------------------------------
+
+hypervisor_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["fault", "fault", "fault", "evict"]),
+        st.integers(min_value=0, max_value=1),  # which VM
+        st.integers(min_value=0, max_value=39),  # which data page
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _two_vm_machine():
+    """A tiny paged machine hosting two VMs with one process each."""
+    machine = Machine(
+        small_config(memory=MemoryConfig(fast_frames=24, slow_frames=512))
+    )
+    second_vm = machine.hypervisor.create_vm(vcpu_pcpus=[2, 3])
+    processes = [machine.process, second_vm.create_process()]
+    return machine, [machine.vm, second_vm], processes
+
+
+def _collect_leaf_frames(vms):
+    """(vm_id, gpp, spp) of every nested leaf mapping across the VMs."""
+    return [
+        (vm.vm_id, entry.vpn, entry.pfn)
+        for vm in vms
+        for entry in vm.nested_page_table.iter_leaf_entries()
+    ]
+
+
+@given(hypervisor_ops)
+@settings(max_examples=40, deadline=None)
+def test_hypervisor_never_frees_a_mapped_frame(operations):
+    """Every nested leaf always points at a currently-allocated frame:
+    eviction tears the mapping down *before* the frame is recycled, so
+    no VM can ever reach memory the hypervisor gave away."""
+    machine, vms, processes = _two_vm_machine()
+    hypervisor = machine.hypervisor
+    memory = hypervisor.memory
+    for op, vm_index, page in operations:
+        if op == "fault":
+            vm = vms[vm_index]
+            gpp = 1000 + page  # clear of the pinned page-table gpps
+            if vm.nested_page_table.lookup(gpp) is None:
+                hypervisor.handle_nested_fault(processes[vm_index], gpp, cpu=0)
+        else:
+            hypervisor._evict_one(initiator_cpu=0, background=False)
+        allocated = set(memory.fast.allocator.iter_allocated()) | set(
+            memory.slow.allocator.iter_allocated()
+        )
+        for vm_id, gpp, spp in _collect_leaf_frames(vms):
+            assert spp in allocated, (
+                f"vm{vm_id} gpp {gpp:#x} maps freed frame {spp:#x}"
+            )
+
+
+@given(hypervisor_ops)
+@settings(max_examples=40, deadline=None)
+def test_vm_isolation_no_frame_shared_across_guests(operations):
+    """No system frame is ever mapped by two VMs at once (and never by
+    two guest pages of the same VM either): gpp -> spp is injective
+    across the whole machine at every step."""
+    machine, vms, processes = _two_vm_machine()
+    hypervisor = machine.hypervisor
+    for op, vm_index, page in operations:
+        if op == "fault":
+            vm = vms[vm_index]
+            gpp = 1000 + page
+            if vm.nested_page_table.lookup(gpp) is None:
+                hypervisor.handle_nested_fault(processes[vm_index], gpp, cpu=0)
+        else:
+            hypervisor._evict_one(initiator_cpu=0, background=False)
+        frames = _collect_leaf_frames(vms)
+        spps = [spp for _, _, spp in frames]
+        assert len(spps) == len(set(spps)), f"aliased frames in {frames}"
+    # residency bookkeeping matches the page tables at the end
+    for key, spp in hypervisor.resident.items():
+        vm_id, gpp = key
+        leaf = hypervisor.vm(vm_id).nested_page_table.lookup(gpp)
+        assert leaf is not None and leaf.pfn == spp
 
 
 def _check_policy_invariants(policy, operations):
