@@ -20,6 +20,7 @@ the command line.
 """
 
 from repro.api.cache import ResultCache, decode_result, default_cache_dir, encode_result
+from repro.api.checkpoint import CheckpointStore, checkpoint_family_key
 from repro.api.request import RunRequest, config_from_dict, config_to_dict
 from repro.api.scale import SCALE_ENV_VAR, ExperimentScale
 from repro.api.session import (
@@ -27,11 +28,13 @@ from repro.api.session import (
     SessionStats,
     default_session,
     execute_request,
+    execute_request_checkpointed,
     reset_default_session,
 )
 from repro.api.sweep import Sweep, SweepCell, SweepResult
 
 __all__ = [
+    "CheckpointStore",
     "ExperimentScale",
     "ResultCache",
     "RunRequest",
@@ -41,6 +44,7 @@ __all__ = [
     "Sweep",
     "SweepCell",
     "SweepResult",
+    "checkpoint_family_key",
     "config_from_dict",
     "config_to_dict",
     "decode_result",
@@ -48,5 +52,6 @@ __all__ = [
     "default_session",
     "encode_result",
     "execute_request",
+    "execute_request_checkpointed",
     "reset_default_session",
 ]

@@ -25,7 +25,13 @@ from repro.api.request import (
 from repro.energy.model import EnergyBreakdown
 from repro.sim.remap_anatomy import AnatomyRow
 from repro.sim.simulator import SimulationResult
-from repro.sim.stats import CpuStats, EventCounter, MachineStats, VmStats
+from repro.sim.stats import (
+    CpuStats,
+    EventCounter,
+    IntervalSample,
+    MachineStats,
+    VmStats,
+)
 
 #: Either kind of result a session can produce.
 AnyResult = Union[SimulationResult, AnatomyRow]
@@ -44,6 +50,30 @@ def default_cache_dir() -> Path:
     return base / "repro-hatric"
 
 
+def write_text_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via write-then-rename.
+
+    Concurrent readers never see a torn file.  The temporary file lives
+    in ``path``'s own directory (created if needed), so the final
+    ``os.replace`` is a same-filesystem rename.  Shared by the result
+    cache and the checkpoint store so the two cannot drift on atomicity
+    semantics.
+    """
+    directory = path.parent
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------------
 # result (de)serialization
 # ----------------------------------------------------------------------
@@ -57,15 +87,7 @@ def _encode_stats(stats: MachineStats) -> dict[str, Any]:
     if stats.vms:
         # only consolidated runs carry per-VM counters; single-VM
         # entries stay byte-identical to the pre-multi-VM format
-        payload["vms"] = [
-            {
-                "busy_cycles": vm.busy_cycles,
-                "coherence_cycles": vm.coherence_cycles,
-                "instructions": vm.instructions,
-                "events": dict(vm.events),
-            }
-            for vm in stats.vms
-        ]
+        payload["vms"] = [vm.to_dict() for vm in stats.vms]
     return payload
 
 
@@ -74,15 +96,7 @@ def _decode_stats(data: Mapping[str, Any]) -> MachineStats:
     stats.cpus = [CpuStats(**cpu) for cpu in data["cpus"]]
     stats.events = EventCounter(data["events"])
     stats.background_cycles = data["background_cycles"]
-    stats.vms = [
-        VmStats(
-            busy_cycles=vm["busy_cycles"],
-            coherence_cycles=vm["coherence_cycles"],
-            instructions=vm["instructions"],
-            events=EventCounter(vm["events"]),
-        )
-        for vm in data.get("vms", [])
-    ]
+    stats.vms = [VmStats.from_dict(vm) for vm in data.get("vms", [])]
     return stats
 
 
@@ -117,6 +131,12 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
     }
     if result.vm_names:
         payload["vm_names"] = list(result.vm_names)
+    if result.intervals:
+        # only telemetry-enabled runs carry interval samples; plain
+        # entries stay byte-identical to the pre-telemetry format
+        payload["intervals"] = [
+            sample.to_dict() for sample in result.intervals
+        ]
     return payload
 
 
@@ -152,6 +172,10 @@ def decode_result(data: Mapping[str, Any]) -> AnyResult:
         warmup_references=data["warmup_references"],
         per_app_cycles=dict(data["per_app_cycles"]),
         vm_names=list(data.get("vm_names", [])),
+        intervals=[
+            IntervalSample.from_dict(sample)
+            for sample in data.get("intervals", [])
+        ],
     )
 
 
@@ -187,21 +211,8 @@ class ResultCache:
 
     def put(self, key: str, result: AnyResult) -> Path:
         """Store ``result`` under ``key`` (atomically) and return its path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        payload = json.dumps(encode_result(result))
-        # Write-then-rename so concurrent readers never see a torn file.
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_text_atomic(path, json.dumps(encode_result(result)))
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -229,3 +240,31 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+    def prune(self) -> tuple[int, int]:
+        """Delete stale (schema-mismatched) and undecodable entries.
+
+        :meth:`get` already treats such entries as misses, but a miss
+        leaves the file in place forever; this pass removes them so a
+        long-lived cache directory does not accumulate dead weight
+        across schema bumps.  Returns ``(removed, kept)``.
+        """
+        removed = kept = 0
+        if not self.directory.is_dir():
+            return (0, 0)
+        for path in sorted(self.directory.glob("*.json")):
+            stale = False
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    decode_result(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    kept += 1
+            else:
+                kept += 1
+        return (removed, kept)

@@ -11,22 +11,17 @@ from equal ingredients compare equal, hash equal and produce the same
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.sim.config import (
-    CacheConfig,
-    CoherenceDirectoryConfig,
-    MemoryConfig,
-    PagingConfig,
     SystemConfig,
-    TranslationConfig,
     VmTopology,
+    config_from_dict,
+    config_to_dict,
 )
-from repro.sim.costs import CostModel
 from repro.sim.engine import ENGINES
 
 #: Experiment kinds a request can ask for: a trace-driven simulation or
@@ -42,28 +37,9 @@ EXPERIMENTS = (EXPERIMENT_TRACE, EXPERIMENT_REMAP)
 #: and overwritten) rather than returned stale.
 CACHE_SCHEMA_VERSION = 2
 
-_CONFIG_SECTIONS = {
-    "cache": CacheConfig,
-    "translation": TranslationConfig,
-    "memory": MemoryConfig,
-    "paging": PagingConfig,
-    "directory": CoherenceDirectoryConfig,
-    "costs": CostModel,
-}
-
-
-def config_to_dict(config: SystemConfig) -> dict[str, Any]:
-    """Serialize a :class:`SystemConfig` to plain JSON-compatible data."""
-    return dataclasses.asdict(config)
-
-
-def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
-    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output."""
-    kwargs: dict[str, Any] = dict(data)
-    for name, section_cls in _CONFIG_SECTIONS.items():
-        if name in kwargs and isinstance(kwargs[name], Mapping):
-            kwargs[name] = section_cls(**kwargs[name])
-    return SystemConfig(**kwargs)
+# ``config_to_dict`` / ``config_from_dict`` moved to
+# :mod:`repro.sim.config` (the snapshot serializer needs them below the
+# API layer); imported above and re-exported here for compatibility.
 
 
 @dataclass(frozen=True)
@@ -77,6 +53,15 @@ class RunRequest:
             anatomy microbenchmark, which runs no trace).
         warmup_fraction: fraction of every stream treated as warmup.
         refs_total: total references to simulate (None = spec default).
+        warmup_refs: absolute per-stream warmup length overriding
+            ``warmup_fraction`` (None = use the fraction).  Checkpointed
+            ``refs_total`` sweeps need a trace-length-independent warmup
+            boundary; a fraction moves with the trace length.
+        interval_refs: emit time-resolved telemetry
+            (:class:`~repro.sim.stats.IntervalSample` deltas on
+            ``result.intervals``) roughly every this many retired
+            references (None = no telemetry, byte-identical legacy
+            results).
         experiment: ``"trace"`` or ``"remap"``.
         engine: simulation engine, ``""`` (process default — usually the
             fast engine), ``"fast"`` or ``"reference"``.  Both engines
@@ -97,6 +82,8 @@ class RunRequest:
     workload: str = ""
     warmup_fraction: float = 0.2
     refs_total: Optional[int] = None
+    warmup_refs: Optional[int] = None
+    interval_refs: Optional[int] = None
     experiment: str = EXPERIMENT_TRACE
     engine: str = ""
     # compare=False: the canonical workload name (normalized in
@@ -123,6 +110,15 @@ class RunRequest:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.refs_total is not None and self.refs_total <= 0:
             raise ValueError("refs_total must be positive when given")
+        if self.warmup_refs is not None and self.warmup_refs < 0:
+            raise ValueError("warmup_refs must be >= 0 when given")
+        if self.warmup_refs is not None:
+            # warmup_refs overrides the fraction entirely; normalize the
+            # dead field to its default so dataclass equality agrees
+            # with cache-key equality (and to_dict round-trips exactly)
+            object.__setattr__(self, "warmup_fraction", 0.2)
+        if self.interval_refs is not None and self.interval_refs <= 0:
+            raise ValueError("interval_refs must be positive when given")
         if self.engine not in ("",) + ENGINES:
             raise ValueError(
                 f"engine must be '' or one of {ENGINES}, got {self.engine!r}"
@@ -136,15 +132,28 @@ class RunRequest:
 
         The ``engine`` field is included only when explicitly set: the
         engines are result-equivalent, so default-engine requests keep
-        the cache keys they had before engine selection existed.
+        the cache keys they had before engine selection existed.  The
+        same convention covers ``warmup_refs`` and ``interval_refs`` --
+        absent when unset, so pre-existing requests keep their exact
+        historical cache keys (and cached results stay valid without a
+        :data:`CACHE_SCHEMA_VERSION` bump).
         """
         data: dict[str, Any] = {
             "config": config_to_dict(self.config),
             "workload": self.workload,
-            "warmup_fraction": self.warmup_fraction,
+            # warmup_refs overrides the fraction entirely, so the dead
+            # fraction must not split behaviorally identical requests
+            # into distinct cache keys (mirrors checkpoint_family_key)
+            "warmup_fraction": (
+                None if self.warmup_refs is not None else self.warmup_fraction
+            ),
             "refs_total": self.refs_total,
             "experiment": self.experiment,
         }
+        if self.warmup_refs is not None:
+            data["warmup_refs"] = self.warmup_refs
+        if self.interval_refs is not None:
+            data["interval_refs"] = self.interval_refs
         if self.engine:
             data["engine"] = self.engine
         return data
@@ -152,11 +161,14 @@ class RunRequest:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRequest":
         """Rebuild a request from :meth:`to_dict` output."""
+        warmup_fraction = data.get("warmup_fraction")
         return cls(
             config=config_from_dict(data["config"]),
             workload=data.get("workload", ""),
-            warmup_fraction=data.get("warmup_fraction", 0.2),
+            warmup_fraction=0.2 if warmup_fraction is None else warmup_fraction,
             refs_total=data.get("refs_total"),
+            warmup_refs=data.get("warmup_refs"),
+            interval_refs=data.get("interval_refs"),
             experiment=data.get("experiment", EXPERIMENT_TRACE),
             engine=data.get("engine", ""),
         )

@@ -18,6 +18,7 @@ baseline of Figures 7-9 and 13, and it runs once.
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -25,6 +26,11 @@ from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.api.cache import CACHE_DIR_ENV_VAR, AnyResult, ResultCache
+from repro.api.checkpoint import (
+    CHECKPOINT_SUBDIR,
+    CheckpointStore,
+    checkpoint_family_key,
+)
 from repro.api.request import EXPERIMENT_REMAP, RunRequest
 from repro.sim.engine import (
     ENGINE_FAST,
@@ -36,11 +42,28 @@ from repro.sim.engine import (
     validate_fastpath_requested,
 )
 from repro.sim.remap_anatomy import single_remap_cost
-from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.simulator import (
+    SimulationResult,
+    Simulator,
+    resolve_trace,
+    warmup_starts,
+)
+from repro.sim.snapshot import SnapshotError, restore_run, trace_prefix_digest
 from repro.workloads import make_workload
 
 #: Environment variable globally enabling process fan-out (worker count).
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Per-process counters describing checkpointed execution, mainly for
+#: tests and diagnostics (worker processes count their own).
+CHECKPOINT_COUNTERS = {"restored": 0, "saved": 0, "cold": 0}
+
+#: How many stored checkpoints (longest first) a request examines
+#: before giving up and running cold.  Each examination fully parses
+#: the snapshot and digests the trace prefix, so the scan must stay
+#: bounded even when a family accumulates many never-matching
+#: checkpoints (e.g. sweeps over non-prefix-stable workloads).
+CANDIDATE_SCAN_LIMIT = 4
 
 
 def execute_request(request: RunRequest) -> AnyResult:
@@ -67,7 +90,136 @@ def execute_request(request: RunRequest) -> AnyResult:
         workload,
         warmup_fraction=request.warmup_fraction,
         refs_total=request.refs_total,
+        warmup_refs=request.warmup_refs,
+        interval_refs=request.interval_refs,
     )
+
+
+def execute_request_checkpointed(
+    request: RunRequest,
+    store_directory: str,
+    checkpoint_refs: Optional[int] = None,
+) -> AnyResult:
+    """Execute one request through the machine-checkpoint store.
+
+    Identical results to :func:`execute_request` (bit-for-bit; the fuzz
+    suite enforces it), but the run may start from the longest stored
+    checkpoint of its family whose executed trace prefix matches the
+    request's trace, simulating only the tail -- and it leaves new
+    round-aligned checkpoints behind for the next, longer request.
+
+    Reuse is guarded by the snapshot's schema stamps, its warmup-start
+    vector, and a digest of the exact executed reference prefix, so a
+    checkpoint from a different machine, schema or reference stream
+    degrades to a cold run rather than a wrong result.
+    """
+    if request.experiment == EXPERIMENT_REMAP:
+        return single_remap_cost(request.config)
+    workload = make_workload(request.workload)
+    if (
+        validate_fastpath_requested()
+        and resolve_engine(request.engine or None) == ENGINE_FAST
+    ):
+        # validation mode runs both engines; checkpoints would only
+        # obscure which engine produced the state, so it stays cold.
+        return _execute_validated(request, workload)
+    if request.warmup_refs is None and request.warmup_fraction > 0.0:
+        # A fraction-based warmup boundary moves with refs_total, so no
+        # *other* request can ever match this family's warmup vector
+        # (and an identical rerun is already served by the result
+        # cache).  Saving multi-megabyte snapshots that can never be
+        # restored would make checkpoints=True strictly slower than
+        # off; run cold instead.  Sweeps that want reuse set
+        # ``warmup_refs`` (or ``warmup_fraction=0``).
+        CHECKPOINT_COUNTERS["cold"] += 1
+        return execute_request(request)
+
+    store = CheckpointStore(store_directory)
+    family = checkpoint_family_key(request)
+    trace = resolve_trace(
+        workload, request.config.num_cpus, request.config.seed,
+        request.refs_total,
+    )
+    starts = warmup_starts(
+        trace, request.warmup_fraction, request.warmup_refs
+    )
+    lengths = [len(s) for s in trace.streams]
+
+    def on_checkpoint(snapshot: dict) -> None:
+        CHECKPOINT_COUNTERS["saved"] += 1
+        store.save(family, snapshot)
+
+    # A checkpoint's filename-level executed count bounds how far its
+    # positions can reach, so length-infeasible candidates (from longer
+    # sweeps of the family) are dropped *before* the scan limit -- a
+    # shorter re-run must still find its own reusable checkpoint.
+    main_capacity = sum(lengths) - sum(starts)
+    feasible = [
+        candidate
+        for candidate in store.candidates(family)
+        if candidate[0] <= main_capacity
+    ]
+    restored = None
+    for executed, path in feasible[:CANDIDATE_SCAN_LIMIT]:
+        data = store.load(path)
+        if data is None:
+            continue
+        try:
+            positions = data["trace"]["positions"]
+            if data["warmup"]["starts"] != starts:
+                continue
+            if len(positions) != len(lengths) or any(
+                position > length
+                for position, length in zip(positions, lengths)
+            ):
+                continue
+            if (
+                trace_prefix_digest(trace, positions)
+                != data["trace"]["prefix_digest"]
+            ):
+                continue
+            restored = restore_run(data, engine=request.engine or None)
+        except (SnapshotError, KeyError, TypeError, ValueError):
+            # schema-valid but shape-corrupt payloads degrade to the
+            # next candidate (ultimately a cold run), never to a crash
+            continue
+        break
+
+    if restored is not None:
+        CHECKPOINT_COUNTERS["restored"] += 1
+        return restored.resume(
+            trace,
+            checkpoint_refs=checkpoint_refs,
+            on_checkpoint=on_checkpoint,
+            verify_prefix=False,  # the candidate scan just digested it
+        )
+    CHECKPOINT_COUNTERS["cold"] += 1
+    simulator = Simulator(request.config, engine=request.engine or None)
+    return simulator.run(
+        trace,
+        warmup_fraction=request.warmup_fraction,
+        warmup_refs=request.warmup_refs,
+        interval_refs=request.interval_refs,
+        checkpoint_refs=checkpoint_refs,
+        on_checkpoint=on_checkpoint,
+    )
+
+
+def _execute_chain(
+    requests: Sequence[RunRequest],
+    store_directory: str,
+    checkpoint_refs: Optional[int] = None,
+) -> list[AnyResult]:
+    """Execute one checkpoint family's requests serially, in order.
+
+    The worker-side unit of a parallel checkpointed batch: members of a
+    family must run one after another (shortest first) or none of them
+    can reuse the others' checkpoints.
+    """
+    return [
+        execute_request_checkpointed(request, store_directory, checkpoint_refs)
+        for request in requests
+    ]
 
 
 def _execute_validated(request: RunRequest, workload) -> SimulationResult:
@@ -79,6 +231,8 @@ def _execute_validated(request: RunRequest, workload) -> SimulationResult:
             workload,
             warmup_fraction=request.warmup_fraction,
             refs_total=request.refs_total,
+            warmup_refs=request.warmup_refs,
+            interval_refs=request.interval_refs,
         )
     differences = diff_fingerprints(
         result_fingerprint(results[ENGINE_REFERENCE]),
@@ -126,6 +280,19 @@ class Session:
             runs serially in-process.  Results are identical either way.
         executor: the function that turns a request into a result;
             overridable for testing/instrumentation.
+        checkpoints: enable incremental execution through the
+            machine-checkpoint store (requires ``cache_dir`` and the
+            default ``executor``; the checkpoints live in the cache's
+            ``checkpoints/`` subdirectory).  Requests whose family
+            already has a matching checkpoint restore it and simulate
+            only the tail; results stay bit-identical to cold
+            execution.  With ``max_workers``, whole checkpoint
+            families run serially inside one worker (shortest request
+            first) while distinct families fan out in parallel, so
+            within-family reuse survives process fan-out.
+        checkpoint_refs: additionally capture a checkpoint roughly
+            every this many retired references (None = only the final
+            reusable round of each run is checkpointed).
     """
 
     def __init__(
@@ -133,6 +300,8 @@ class Session:
         cache_dir: Union[None, bool, str, Path] = None,
         max_workers: Optional[int] = None,
         executor: Callable[[RunRequest], AnyResult] = execute_request,
+        checkpoints: bool = False,
+        checkpoint_refs: Optional[int] = None,
     ) -> None:
         if cache_dir is True:
             self.disk_cache: Optional[ResultCache] = ResultCache()
@@ -142,6 +311,23 @@ class Session:
             self.disk_cache = None
         self.max_workers = max_workers
         self.executor = executor
+        self.checkpoint_refs = checkpoint_refs
+        self.checkpoint_store: Optional[CheckpointStore] = None
+        if checkpoints:
+            if self.disk_cache is None:
+                raise ValueError(
+                    "checkpoints=True needs a cache_dir; checkpoints "
+                    "live beside the on-disk result cache"
+                )
+            if executor is not execute_request:
+                raise ValueError(
+                    "checkpoints=True is incompatible with a custom "
+                    "executor: checkpointed execution replaces the "
+                    "executor with execute_request_checkpointed"
+                )
+            self.checkpoint_store = CheckpointStore(
+                self.disk_cache.directory / CHECKPOINT_SUBDIR
+            )
         self.stats = SessionStats()
         self._memo: dict[str, AnyResult] = {}
 
@@ -187,7 +373,14 @@ class Session:
     def _execute_pending(self, pending: dict[str, RunRequest]) -> None:
         keys = list(pending)
         todo = [pending[key] for key in keys]
-        if self.max_workers is not None and self.max_workers > 1 and len(todo) > 1:
+        parallel = (
+            self.max_workers is not None
+            and self.max_workers > 1
+            and len(todo) > 1
+        )
+        if self.checkpoint_store is not None:
+            results = self._execute_checkpointed(todo, parallel)
+        elif parallel:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 results = list(pool.map(self.executor, todo))
         else:
@@ -197,6 +390,62 @@ class Session:
             self.stats.executed += 1
             if self.disk_cache is not None:
                 self.disk_cache.put(key, result)
+
+    def _execute_checkpointed(
+        self, todo: list[RunRequest], parallel: bool
+    ) -> list[AnyResult]:
+        """Execute a batch through the checkpoint store.
+
+        Requests of one checkpoint *family* (identical machine
+        trajectory, different ``refs_total``) must run serially,
+        shortest first, or none can reuse the others' checkpoints; a
+        parallel batch therefore fans out whole family chains, keeping
+        concurrency *across* families without losing reuse *within*
+        them.  Results are returned in the input order.
+        """
+        store_directory = str(self.checkpoint_store.directory)
+        chains: dict[str, list[int]] = {}
+        for index, request in enumerate(todo):
+            chains.setdefault(checkpoint_family_key(request), []).append(index)
+        ordered = [
+            sorted(
+                indices,
+                key=lambda i: (
+                    todo[i].refs_total is None,
+                    todo[i].refs_total or 0,
+                ),
+            )
+            for indices in chains.values()
+        ]
+        results: list[Optional[AnyResult]] = [None] * len(todo)
+        if parallel and len(ordered) > 1:
+            runner = functools.partial(
+                _execute_chain,
+                store_directory=store_directory,
+                checkpoint_refs=self.checkpoint_refs,
+            )
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                chain_outputs = list(
+                    pool.map(
+                        runner,
+                        [[todo[i] for i in chain] for chain in ordered],
+                    )
+                )
+        else:
+            # serial, or a batch that collapsed to one family: running
+            # in-process keeps counters visible and skips pool spawn.
+            chain_outputs = [
+                _execute_chain(
+                    [todo[i] for i in chain],
+                    store_directory,
+                    self.checkpoint_refs,
+                )
+                for chain in ordered
+            ]
+        for indices, chain_results in zip(ordered, chain_outputs):
+            for index, result in zip(indices, chain_results):
+                results[index] = result
+        return results
 
     # ------------------------------------------------------------------
     # cache management
@@ -219,6 +468,24 @@ class Session:
             return
         for request in requests:
             self._memo.pop(request.cache_key, None)
+
+    def prune(self) -> dict[str, tuple[int, int]]:
+        """Prune stale on-disk entries (results and checkpoints).
+
+        Returns ``{"results": (removed, kept), "checkpoints": (removed,
+        kept)}``; sections without a configured store report ``(0, 0)``.
+        """
+        # ``is not None``: both stores define __len__, so an *empty*
+        # store is falsy and a bare truthiness test would skip it.
+        results = (
+            self.disk_cache.prune() if self.disk_cache is not None else (0, 0)
+        )
+        checkpoints = (
+            self.checkpoint_store.prune()
+            if self.checkpoint_store is not None
+            else (0, 0)
+        )
+        return {"results": results, "checkpoints": checkpoints}
 
 
 _DEFAULT_SESSION: Optional[Session] = None

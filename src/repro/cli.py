@@ -248,8 +248,146 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _add_consolidation_parser(subparsers, common)
     _add_scenario_parser(subparsers, common)
+    _add_timeline_parser(subparsers, common)
+    _add_cache_parser(subparsers)
     _add_bench_parser(subparsers)
     return parser
+
+
+def _add_timeline_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    from repro.experiments.timeline import (
+        DEFAULT_TIMELINE_REFS,
+        DEFAULT_TIMELINE_VCPUS,
+        DEFAULT_TIMELINE_WORKLOAD,
+        TIMELINE_PROTOCOLS,
+    )
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        parents=[common],
+        help="time-resolved protocol comparison (interval telemetry)",
+        description=(
+            "Run one workload under several translation coherence "
+            "protocols with per-interval statistics deltas and print "
+            "the protocols' coherence activity over time -- e.g. the "
+            "software baseline's shootdown storms during "
+            "migration-daemon bursts while HATRIC stays flat.  "
+            "multi: composed names give consolidated timelines."
+        ),
+    )
+    timeline.add_argument(
+        "--workload",
+        default=DEFAULT_TIMELINE_WORKLOAD,
+        metavar="NAME",
+        help=f"workload to trace (default {DEFAULT_TIMELINE_WORKLOAD!r}; "
+        f"suite, mixNN, syn:, multi: and prefix: names all work)",
+    )
+    timeline.add_argument(
+        "--protocols",
+        default=",".join(TIMELINE_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: {','.join(TIMELINE_PROTOCOLS)})",
+    )
+    timeline.add_argument(
+        "--num-cpus",
+        type=int,
+        default=DEFAULT_TIMELINE_VCPUS,
+        metavar="N",
+        help=f"vCPU count (default {DEFAULT_TIMELINE_VCPUS})",
+    )
+    timeline.add_argument(
+        "--refs",
+        type=int,
+        default=DEFAULT_TIMELINE_REFS,
+        metavar="N",
+        help=f"total references (default {DEFAULT_TIMELINE_REFS})",
+    )
+    timeline.add_argument(
+        "--intervals",
+        type=int,
+        default=16,
+        metavar="N",
+        help="approximate number of telemetry intervals (default 16)",
+    )
+
+
+def _run_timeline(args: argparse.Namespace) -> str:
+    from repro.experiments.timeline import format_timeline, run_timeline
+
+    result = run_timeline(
+        workload=args.workload,
+        protocols=tuple(
+            p.strip() for p in args.protocols.split(",") if p.strip()
+        ),
+        num_cpus=args.num_cpus,
+        refs_total=args.refs,
+        intervals=args.intervals,
+        scale=_scale_from_args(args),
+        session=_session_from_args(args),
+    )
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2)
+    return format_timeline(result)
+
+
+def _add_cache_parser(subparsers) -> None:
+    cache = subparsers.add_parser(
+        "cache",
+        help="manage the on-disk result/checkpoint caches",
+        description=(
+            "Inspect and maintain the on-disk JSON caches: simulation "
+            "results plus the machine checkpoints living in their "
+            "checkpoints/ subdirectory."
+        ),
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-hatric)",
+    )
+    commands = cache.add_subparsers(dest="cache_command", required=True)
+    commands.add_parser(
+        "info", help="show cache location and entry counts"
+    )
+    commands.add_parser(
+        "prune",
+        help="delete stale-version and undecodable entries",
+        description=(
+            "Delete result and checkpoint files whose schema stamp no "
+            "longer matches the running code (or which cannot be "
+            "decoded at all).  Lookups already treat such entries as "
+            "misses; pruning removes them instead of ignoring them "
+            "forever."
+        ),
+    )
+
+
+def _run_cache(args: argparse.Namespace) -> tuple[str, int]:
+    # A session owns both stores (results + checkpoints/ subdirectory),
+    # so the CLI maintains exactly what sessions read and write.
+    session = Session(cache_dir=args.cache_dir or True, checkpoints=True)
+    results = session.disk_cache
+    checkpoints = session.checkpoint_store
+    if args.cache_command == "info":
+        lines = [
+            f"cache directory: {results.directory}",
+            f"result entries: {len(results)}",
+            f"checkpoints: {len(checkpoints)}",
+        ]
+        return "\n".join(lines), 0
+    # cache_command == "prune"
+    pruned = session.prune()
+    removed_results, kept_results = pruned["results"]
+    removed_checkpoints, kept_checkpoints = pruned["checkpoints"]
+    lines = [
+        f"cache directory: {results.directory}",
+        f"results: removed {removed_results} stale, kept {kept_results}",
+        f"checkpoints: removed {removed_checkpoints} stale, kept "
+        f"{kept_checkpoints}",
+    ]
+    return "\n".join(lines), 0
 
 
 def _add_consolidation_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -409,6 +547,11 @@ def _add_bench_parser(subparsers) -> None:
         f"{DEFAULT_BENCH_TAG}; one tag per PR)",
     )
     bench.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="skip the checkpointed incremental-sweep timing",
+    )
+    bench.add_argument(
         "--json", action="store_true", help="print JSON instead of a table"
     )
     bench.add_argument(
@@ -450,6 +593,7 @@ def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
         repeats=args.repeats,
         scale=_scale_from_args(args),
         tag=args.tag,
+        incremental=not args.no_incremental,
     )
     payload = bench_payload(report)
     if args.output:
@@ -590,6 +734,10 @@ def _run_list() -> str:
     lines.append(
         "  multi:WL[@VCPUS[:MEMSHARE]]+...[+share=shared] (consolidated "
         "multi-VM compositions; see 'python -m repro consolidation')"
+    )
+    lines.append(
+        "  prefix:REFS:WL (prefix-stable trace capped at REFS total "
+        "references; what checkpointed refs sweeps reuse across)"
     )
     return "\n".join(lines)
 
@@ -819,7 +967,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text, code = _run_bench(args)
             print(text)
             return code
-        if args.command == "sweep":
+        if args.command == "cache":
+            text, code = _run_cache(args)
+            _emit(text, None)
+            return code
+        if args.command == "timeline":
+            text = _run_timeline(args)
+        elif args.command == "sweep":
             text = _run_sweep(args)
         else:
             text = _run_figure(args.command, args)

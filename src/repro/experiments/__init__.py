@@ -50,6 +50,13 @@ from repro.experiments.consolidation import (
     run_consolidation,
     sweep_consolidation,
 )
+from repro.experiments.timeline import (
+    TIMELINE_PROTOCOLS,
+    TimelineResult,
+    TimelineSeries,
+    format_timeline,
+    run_timeline,
+)
 
 __all__ = [
     "CONSOLIDATION_PROTOCOLS",
@@ -64,6 +71,9 @@ __all__ = [
     "format_figure11_right",
     "SCENARIO_FAMILIES",
     "SCENARIO_PROTOCOLS",
+    "TIMELINE_PROTOCOLS",
+    "TimelineResult",
+    "TimelineSeries",
     "differential_violations",
     "format_figure12",
     "format_figure13",
@@ -73,6 +83,7 @@ __all__ = [
     "format_figure9",
     "format_scenarios",
     "format_differential",
+    "format_timeline",
     "format_xen_study",
     "run_anatomy",
     "run_configuration",
@@ -88,6 +99,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_figure9",
+    "run_timeline",
     "run_xen_study",
     "sweep_figure10",
     "sweep_figure11_left",

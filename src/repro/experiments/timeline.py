@@ -1,0 +1,242 @@
+"""Time-resolved protocol comparison: ``python -m repro timeline``.
+
+End-of-run aggregates hide *when* translation coherence hurts.  The
+paper's pathologies are phase phenomena -- migration-daemon bursts,
+dirty-page-logging sweeps, compaction storms -- during which the
+software baseline takes an IPI/VM-exit/flush storm while HATRIC's
+co-tag invalidations stay flat.  This module runs the same workload
+under several protocols with interval telemetry enabled
+(:class:`~repro.sim.stats.IntervalSample` deltas every K references)
+and lines the protocols' per-interval coherence behaviour up side by
+side.
+
+Runs flow through the shared :class:`~repro.api.session.Session`, so
+timelines are cached like any other request, and ``multi:`` composed
+names give consolidated (multi-guest) timelines with per-VM deltas in
+each sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.api.request import RunRequest
+from repro.api.scale import ExperimentScale
+from repro.api.session import Session, default_session
+from repro.experiments.runner import baseline_config
+from repro.sim.simulator import SimulationResult
+from repro.sim.stats import IntervalSample
+from repro.workloads import make_workload
+
+#: Protocols compared by default (the paper's headline matchup plus the
+#: zero-overhead oracle as the floor).
+TIMELINE_PROTOCOLS = ("software", "hatric", "ideal")
+
+#: Default scenario: the steady-state remap source (Section 3.1) on the
+#: smallest machine shape where the protocols separate clearly.
+DEFAULT_TIMELINE_WORKLOAD = "syn:migration-daemon/addr=zipf/seed=7"
+DEFAULT_TIMELINE_VCPUS = 8
+DEFAULT_TIMELINE_REFS = 20_000
+
+#: Event-counter keys summarized per interval in the rendered table.
+_SHOOTDOWN_EVENTS = (
+    "coherence.ipis",
+    "coherence.vm_exits",
+    "hatric.invalidation_messages",
+    "unitd.invalidation_messages",
+)
+_REMAP_EVENT = "coherence.remaps"
+
+
+@dataclass
+class TimelineSeries:
+    """One protocol's run, decomposed into interval samples."""
+
+    protocol: str
+    result: SimulationResult
+
+    @property
+    def samples(self) -> list[IntervalSample]:
+        """The run's interval samples, in time order."""
+        return self.result.intervals
+
+    def interval_rows(self) -> list[dict[str, Any]]:
+        """JSON-friendly per-interval summary rows."""
+        rows = []
+        for sample in self.samples:
+            rows.append(
+                {
+                    "start_refs": sample.start_refs,
+                    "end_refs": sample.end_refs,
+                    "busy_cycles": sample.busy_cycles,
+                    "coherence_cycles": sample.coherence_cycles,
+                    "remaps": sample.events.get(_REMAP_EVENT, 0),
+                    "shootdown_messages": sum(
+                        sample.events.get(key, 0) for key in _SHOOTDOWN_EVENTS
+                    ),
+                    "energy": sample.energy,
+                }
+            )
+        return rows
+
+
+@dataclass
+class TimelineResult:
+    """A full timeline study: one series per protocol."""
+
+    workload: str
+    refs_total: int
+    interval_refs: int
+    num_cpus: int
+    series: list[TimelineSeries] = field(default_factory=list)
+
+    def series_for(self, protocol: str) -> TimelineSeries:
+        """The series of one protocol."""
+        for series in self.series:
+            if series.protocol == protocol:
+                return series
+        raise KeyError(protocol)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible payload (the CLI's ``--json`` output)."""
+        return {
+            "workload": self.workload,
+            "refs_total": self.refs_total,
+            "interval_refs": self.interval_refs,
+            "num_cpus": self.num_cpus,
+            "series": [
+                {
+                    "protocol": series.protocol,
+                    "runtime_cycles": series.result.runtime_cycles,
+                    "coherence_cycles": series.result.coherence_cycles,
+                    "energy": series.result.energy_total,
+                    "intervals": series.interval_rows(),
+                }
+                for series in self.series
+            ],
+        }
+
+
+def run_timeline(
+    workload: str = DEFAULT_TIMELINE_WORKLOAD,
+    protocols: Sequence[str] = TIMELINE_PROTOCOLS,
+    num_cpus: int = DEFAULT_TIMELINE_VCPUS,
+    refs_total: Optional[int] = DEFAULT_TIMELINE_REFS,
+    intervals: int = 16,
+    scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
+    **config_overrides: Any,
+) -> TimelineResult:
+    """Run one workload under several protocols with interval telemetry.
+
+    ``intervals`` picks the approximate number of samples per run; the
+    concrete cadence (``interval_refs``) is derived from the post-warmup
+    reference count.  Suite names, ``mixNN``, ``syn:`` scenarios,
+    ``multi:`` consolidated shapes and ``prefix:`` capped workloads all
+    work, because requests resolve through the ordinary workload
+    registry.
+    """
+    if intervals <= 0:
+        raise ValueError("intervals must be positive")
+    # NOT ``session or default_session()``: an empty Session is falsy
+    # (it has __len__), which would silently discard the caller's cache.
+    session = session if session is not None else default_session()
+    scale = scale or ExperimentScale()
+    resolved = make_workload(workload)
+    total = refs_total
+    if total is None:
+        total = scale.refs_for(resolved) or resolved.spec.refs_total
+    elif scale.trace_scale != 1.0:
+        total = max(1000, int(total * scale.trace_scale))
+    main_refs = int(total * (1.0 - scale.warmup_fraction))
+    interval_refs = max(256, main_refs // intervals)
+
+    requests = [
+        RunRequest(
+            config=baseline_config(
+                num_cpus=num_cpus, protocol=protocol, **config_overrides
+            ),
+            workload=workload,
+            warmup_fraction=scale.warmup_fraction,
+            refs_total=total,
+            interval_refs=interval_refs,
+        )
+        for protocol in protocols
+    ]
+    results = session.run_batch(requests)
+    return TimelineResult(
+        workload=workload,
+        refs_total=total,
+        interval_refs=interval_refs,
+        num_cpus=num_cpus,
+        series=[
+            TimelineSeries(protocol=protocol, result=result)
+            for protocol, result in zip(protocols, results)
+        ],
+    )
+
+
+def _bar(value: int, peak: int, width: int = 24) -> str:
+    if peak <= 0:
+        return ""
+    filled = round(width * value / peak)
+    if value > 0 and filled == 0:
+        filled = 1
+    return "#" * filled
+
+
+def format_timeline(timeline: TimelineResult) -> str:
+    """Render a timeline as per-interval tables plus coherence bars.
+
+    One block per protocol: interval window, coherence cycles with a
+    bar scaled to the *global* peak across protocols (so a software
+    shootdown storm visibly dwarfs HATRIC's flat line), remap count and
+    shootdown/invalidation message count.
+    """
+    lines = [
+        f"timeline: {timeline.workload}",
+        f"  refs={timeline.refs_total} interval={timeline.interval_refs} "
+        f"cpus={timeline.num_cpus}",
+    ]
+    peak = max(
+        (
+            sample.coherence_cycles
+            for series in timeline.series
+            for sample in series.samples
+        ),
+        default=0,
+    )
+    for series in timeline.series:
+        result = series.result
+        lines.append("")
+        lines.append(
+            f"{series.protocol}: runtime={result.runtime_cycles} "
+            f"coherence={result.coherence_cycles} "
+            f"energy={result.energy_total:.0f}"
+        )
+        header = (
+            f"  {'window (refs)':>17}  {'coh.cycles':>10}  {'remaps':>6}  "
+            f"{'msgs':>6}  coherence"
+        )
+        lines.append(header)
+        for row in series.interval_rows():
+            window = f"{row['start_refs']}..{row['end_refs']}"
+            lines.append(
+                f"  {window:>17}  {row['coherence_cycles']:>10}  "
+                f"{row['remaps']:>6}  {row['shootdown_messages']:>6}  "
+                f"{_bar(row['coherence_cycles'], peak)}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_TIMELINE_REFS",
+    "DEFAULT_TIMELINE_VCPUS",
+    "DEFAULT_TIMELINE_WORKLOAD",
+    "TIMELINE_PROTOCOLS",
+    "TimelineResult",
+    "TimelineSeries",
+    "format_timeline",
+    "run_timeline",
+]

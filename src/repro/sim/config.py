@@ -13,8 +13,9 @@ gigabyte-range footprints; see DESIGN.md for the substitution note.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.sim.costs import CostModel
 
@@ -285,3 +286,33 @@ class SystemConfig:
     def replace(self, **changes) -> "SystemConfig":
         """Return a copy with arbitrary fields replaced."""
         return replace(self, **changes)
+
+
+#: Section classes rebuilt by :func:`config_from_dict`, keyed by field.
+_CONFIG_SECTIONS = {
+    "cache": CacheConfig,
+    "translation": TranslationConfig,
+    "memory": MemoryConfig,
+    "paging": PagingConfig,
+    "directory": CoherenceDirectoryConfig,
+    "costs": CostModel,
+}
+
+
+def config_to_dict(config: SystemConfig) -> dict[str, Any]:
+    """Serialize a :class:`SystemConfig` to plain JSON-compatible data.
+
+    Lives here (not in ``repro.api``) so the snapshot serializer in
+    :mod:`repro.sim.snapshot` can use it without inverting the layering;
+    :mod:`repro.api.request` re-exports it.
+    """
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output."""
+    kwargs: dict[str, Any] = dict(data)
+    for name, section_cls in _CONFIG_SECTIONS.items():
+        if name in kwargs and isinstance(kwargs[name], Mapping):
+            kwargs[name] = section_cls(**kwargs[name])
+    return SystemConfig(**kwargs)

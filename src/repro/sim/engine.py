@@ -792,10 +792,10 @@ class ReferenceExecutor:
         self.trace = trace
         self.contexts = contexts
 
-    def execute(self, fraction: float, skip_fraction: float = 0.0) -> int:
-        """Execute streams between ``skip_fraction`` and ``fraction``."""
-        return self.simulator._execute(
-            self.trace, self.contexts, fraction, skip_fraction=skip_fraction
+    def execute_span(self, starts, ends, on_round=None) -> int:
+        """Execute streams between per-stream ``starts`` and ``ends``."""
+        return self.simulator._execute_span(
+            self.trace, self.contexts, starts, ends, on_round
         )
 
 
@@ -817,7 +817,8 @@ class FastPathExecutor:
         self._gvas = [stream.tolist() for stream in trace.streams]
         self._writes = [flags.tolist() for flags in trace.writes]
         # Stream-to-pCPU placement (identity for legacy traces) and the
-        # per-VM attribution map, mirroring Simulator._execute exactly.
+        # per-VM attribution map, mirroring Simulator._execute_span
+        # exactly.
         self._pcpus = trace.pcpu_of_vcpu or list(range(trace.num_vcpus))
         self._vm_of_stream = (
             trace.vm_of_vcpu if simulator.stats.vms else None
@@ -846,19 +847,21 @@ class FastPathExecutor:
         else:  # pragma: no cover - no third policy exists today
             self._policy_kind = "other"
 
-    def execute(self, fraction: float, skip_fraction: float = 0.0) -> int:
-        """Execute streams between ``skip_fraction`` and ``fraction``.
+    def execute_span(self, starts, ends, on_round=None) -> int:
+        """Execute streams between per-stream ``starts`` and ``ends``.
 
         Cyclic garbage collection is suspended for the duration: the hot
         path allocates no reference cycles (cache lines, translation
         entries and directory entries are acyclic), so generational GC
         sweeps are pure overhead at this allocation rate.
+
+        ``on_round`` mirrors the reference engine's hook: it fires after
+        every full round-robin round with the references executed so far
+        in this span, which is a state both engines reach bit-exactly.
         """
         from repro.sim.simulator import _INTERLEAVE_CHUNK
 
         trace = self.trace
-        starts = [int(len(s) * skip_fraction) for s in trace.streams]
-        ends = [int(len(s) * fraction) for s in trace.streams]
         positions = list(starts)
         executed = 0
         gc_was_enabled = gc.isenabled()
@@ -876,6 +879,8 @@ class FastPathExecutor:
                     active = True
                     executed += self._run_chunk(vcpu, pos, end)
                     positions[vcpu] = end
+                if active and on_round is not None:
+                    on_round(executed)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -1155,6 +1160,7 @@ def result_fingerprint(result: "SimulationResult") -> dict[str, Any]:
             (v.busy_cycles, v.coherence_cycles, v.instructions, dict(v.events))
             for v in stats.vms
         ],
+        "intervals": [sample.to_dict() for sample in result.intervals],
     }
 
 

@@ -30,7 +30,7 @@ from repro.sim.engine import (
     resolve_engine,
 )
 from repro.sim.config import SystemConfig
-from repro.sim.stats import MachineStats
+from repro.sim.stats import IntervalSample, MachineStats
 from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
 from repro.virt.kvm import KvmHypervisor
 from repro.virt.vm import GuestProcess
@@ -79,6 +79,26 @@ def resolve_trace(
     )
 
 
+def warmup_starts(
+    trace: WorkloadTrace,
+    warmup_fraction: float,
+    warmup_refs: Optional[int] = None,
+) -> list[int]:
+    """Per-stream main-phase start positions a run's warmup implies.
+
+    The single source of truth shared by :meth:`Simulator.run` and the
+    checkpoint layer: snapshot reuse compares this vector bit-for-bit,
+    so the two sides must never compute it independently.
+    """
+    if warmup_refs is not None:
+        if warmup_refs < 0:
+            raise ValueError("warmup_refs must be >= 0 when given")
+        return [min(warmup_refs, len(s)) for s in trace.streams]
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    return [int(len(s) * warmup_fraction) for s in trace.streams]
+
+
 @dataclass
 class SimulationResult:
     """Everything measured during one simulation run."""
@@ -92,6 +112,10 @@ class SimulationResult:
     #: per-VM display names for consolidated runs (aligned with
     #: ``stats.vms``); empty for legacy single-VM runs.
     vm_names: list[str] = field(default_factory=list)
+    #: time-resolved telemetry: per-interval statistics deltas, emitted
+    #: only when the run asked for them (``interval_refs``); empty
+    #: otherwise, keeping legacy results byte-identical.
+    intervals: list[IntervalSample] = field(default_factory=list)
 
     @property
     def runtime_cycles(self) -> int:
@@ -193,6 +217,11 @@ class Simulator:
     ) -> None:
         self.protocol: TranslationCoherenceProtocol = make_protocol(config.protocol)
         hypervisor_cls = XenHypervisor if config.hypervisor == "xen" else KvmHypervisor
+        #: the configuration as requested, *before* the hypervisor's cost
+        #: adjustment.  Snapshots store this one: re-adjusting already
+        #: adjusted costs (Xen's scaling is not idempotent) would change
+        #: the machine on restore.
+        self.requested_config = config
         config = config.replace(costs=hypervisor_cls.adjust_costs(config.costs))
         self.config = config
         self.validate = validate
@@ -232,6 +261,11 @@ class Simulator:
         workload: WorkloadLike,
         warmup_fraction: float = 0.2,
         refs_total: Optional[int] = None,
+        *,
+        warmup_refs: Optional[int] = None,
+        interval_refs: Optional[int] = None,
+        checkpoint_refs: Optional[int] = None,
+        on_checkpoint=None,
     ) -> SimulationResult:
         """Run a workload to completion and return its measurements.
 
@@ -240,6 +274,23 @@ class Simulator:
         population of die-stacked DRAM) do not dominate the short
         synthetic traces the way they never would in the paper's
         50-billion-reference traces.
+
+        Keyword-only extensions (all default-off, leaving legacy runs
+        bit-identical):
+
+        * ``warmup_refs`` -- absolute per-stream warmup length
+          overriding ``warmup_fraction``.  Checkpoint reuse across
+          ``refs_total`` sweeps needs the warmup boundary to be
+          independent of the trace length, which a fraction is not.
+        * ``interval_refs`` -- emit an :class:`~repro.sim.stats.
+          IntervalSample` roughly every that many retired references
+          (at executor round boundaries), collected on
+          :attr:`SimulationResult.intervals`.
+        * ``checkpoint_refs`` / ``on_checkpoint`` -- capture
+          :mod:`repro.sim.snapshot` machine snapshots at round-aligned
+          positions (periodically every ``checkpoint_refs`` references
+          when given, and always at the last reusable round) and hand
+          each snapshot dict to ``on_checkpoint``.
         """
         trace = self._resolve_trace(workload, refs_total)
         self._validate_trace_shape(trace)
@@ -249,11 +300,269 @@ class Simulator:
         contexts = self._create_guests(trace)
         executor = make_executor(self, trace, contexts)
 
-        warmup_refs = 0
-        if warmup_fraction > 0.0:
-            warmup_refs = executor.execute(fraction=warmup_fraction)
+        starts = warmup_starts(trace, warmup_fraction, warmup_refs)
+        warmup_requested = (
+            warmup_refs > 0 if warmup_refs is not None else warmup_fraction > 0.0
+        )
+        warmup_executed = 0
+        if warmup_requested:
+            warmup_executed = executor.execute_span(
+                [0] * trace.num_vcpus, list(starts)
+            )
             self._reset_statistics()
-        executor.execute(fraction=1.0, skip_fraction=warmup_fraction)
+
+        return self._run_main(
+            trace,
+            contexts,
+            executor,
+            warmup_starts=starts,
+            positions=list(starts),
+            warmup_executed=warmup_executed,
+            prior_executed=0,
+            prior_intervals=[],
+            interval_refs=interval_refs,
+            anchor=None,
+            anchor_refs=0,
+            checkpoint_refs=checkpoint_refs,
+            on_checkpoint=on_checkpoint,
+        )
+
+    def resume(
+        self,
+        trace: WorkloadTrace,
+        contexts: list[GuestProcess],
+        positions: list[int],
+        *,
+        warmup_starts: list[int],
+        warmup_executed: int = 0,
+        executed_refs: int = 0,
+        intervals: Optional[list[IntervalSample]] = None,
+        anchor: Optional[dict] = None,
+        anchor_refs: Optional[int] = None,
+        interval_refs: Optional[int] = None,
+        checkpoint_refs: Optional[int] = None,
+        on_checkpoint=None,
+    ) -> SimulationResult:
+        """Continue a restored run from ``positions`` to stream ends.
+
+        The simulator must already hold the restored machine state (see
+        :func:`repro.sim.snapshot.restore_run`, which builds it); this
+        method only drives the remaining references.  With matching
+        arguments the continuation is bit-identical to the straight-
+        through run the snapshot was captured from.
+        """
+        self._validate_trace_shape(trace)
+        if len(positions) != trace.num_vcpus:
+            raise ValueError("positions must name one offset per stream")
+        for position, start, stream in zip(positions, warmup_starts, trace.streams):
+            if not start <= position <= len(stream):
+                raise ValueError(
+                    f"resume position {position} outside [{start}, "
+                    f"{len(stream)}]"
+                )
+        executor = make_executor(self, trace, contexts)
+        return self._run_main(
+            trace,
+            contexts,
+            executor,
+            warmup_starts=list(warmup_starts),
+            positions=list(positions),
+            warmup_executed=warmup_executed,
+            prior_executed=executed_refs,
+            prior_intervals=list(intervals or []),
+            interval_refs=interval_refs,
+            anchor=anchor,
+            anchor_refs=executed_refs if anchor_refs is None else anchor_refs,
+            checkpoint_refs=checkpoint_refs,
+            on_checkpoint=on_checkpoint,
+        )
+
+    # ------------------------------------------------------------------
+    # the main-phase driver (telemetry + checkpoints)
+    # ------------------------------------------------------------------
+    def telemetry_aggregate(self) -> dict:
+        """Cumulative post-warmup aggregates used as interval anchors.
+
+        Exact integers plus the energy total, so interval deltas are
+        reproducible bit-for-bit across checkpoint/restore (the anchor
+        is stored in snapshots rather than re-derived, avoiding float
+        re-association).
+        """
+        stats = self.stats
+        return {
+            "busy": sum(c.busy_cycles for c in stats.cpus),
+            "coherence": sum(c.coherence_cycles for c in stats.cpus),
+            "background": stats.background_cycles,
+            "instructions": sum(c.instructions for c in stats.cpus),
+            "events": dict(stats.events),
+            "vms": [vm.to_dict() for vm in stats.vms],
+            "energy": self.energy_model.compute(self.chip, self.stats).total,
+        }
+
+    @staticmethod
+    def _interval_delta(
+        start_refs: int, end_refs: int, anchor: dict, current: dict
+    ) -> IntervalSample:
+        events = {
+            key: value - anchor["events"].get(key, 0)
+            for key, value in current["events"].items()
+            if value - anchor["events"].get(key, 0)
+        }
+        vms = []
+        for index, vm in enumerate(current["vms"]):
+            base = (
+                anchor["vms"][index]
+                if index < len(anchor["vms"])
+                else {"busy_cycles": 0, "coherence_cycles": 0,
+                      "instructions": 0, "events": {}}
+            )
+            vms.append(
+                {
+                    "busy_cycles": vm["busy_cycles"] - base["busy_cycles"],
+                    "coherence_cycles": (
+                        vm["coherence_cycles"] - base["coherence_cycles"]
+                    ),
+                    "instructions": vm["instructions"] - base["instructions"],
+                    "events": {
+                        key: value - base["events"].get(key, 0)
+                        for key, value in vm["events"].items()
+                        if value - base["events"].get(key, 0)
+                    },
+                }
+            )
+        return IntervalSample(
+            start_refs=start_refs,
+            end_refs=end_refs,
+            busy_cycles=current["busy"] - anchor["busy"],
+            coherence_cycles=current["coherence"] - anchor["coherence"],
+            background_cycles=current["background"] - anchor["background"],
+            instructions=current["instructions"] - anchor["instructions"],
+            energy=current["energy"] - anchor["energy"],
+            events=events,
+            vms=vms,
+        )
+
+    def _run_main(
+        self,
+        trace: WorkloadTrace,
+        contexts: list[GuestProcess],
+        executor,
+        *,
+        warmup_starts: list[int],
+        positions: list[int],
+        warmup_executed: int,
+        prior_executed: int,
+        prior_intervals: list[IntervalSample],
+        interval_refs: Optional[int],
+        anchor: Optional[dict],
+        anchor_refs: int,
+        checkpoint_refs: Optional[int],
+        on_checkpoint,
+    ) -> SimulationResult:
+        """Execute the (remaining) main phase and assemble the result.
+
+        Telemetry and checkpoints hook the executor's round boundaries:
+        after every full round-robin round all streams sit at positions
+        ``min(start + CHUNK * round, end)``, a state both engines reach
+        identically, which is what makes interval samples engine-
+        independent and snapshots reusable by longer runs.
+        """
+        ends = [len(s) for s in trace.streams]
+        intervals = prior_intervals
+        chunk = _INTERLEAVE_CHUNK
+
+        on_round = None
+        if interval_refs is not None or on_checkpoint is not None:
+            if interval_refs is not None and interval_refs <= 0:
+                raise ValueError("interval_refs must be positive when given")
+            if checkpoint_refs is not None and checkpoint_refs <= 0:
+                raise ValueError("checkpoint_refs must be positive when given")
+            offsets = [p - s for p, s in zip(positions, warmup_starts)]
+            # Checkpoints are only meaningful from a round-aligned span
+            # start (a fresh run, or a resume from a saved checkpoint);
+            # from anywhere else the per-round position formula below
+            # would not hold, so checkpointing is silently disabled.
+            aligned = (
+                bool(offsets)
+                and all(offset == offsets[0] for offset in offsets)
+                and offsets[0] % chunk == 0
+            )
+            if not aligned:
+                on_checkpoint = None
+            base_round = max(
+                (offset + chunk - 1) // chunk for offset in offsets
+            ) if offsets else 0
+            # rounds 0..last_round have every stream unclamped, i.e. a
+            # longer run over the same prefix visits the same state.
+            last_round = min(
+                (end - start) // chunk
+                for start, end in zip(warmup_starts, ends)
+            ) if ends else 0
+            state = {
+                "round": base_round,
+                "anchor": anchor,
+                "anchor_refs": anchor_refs,
+                "last_checkpoint": prior_executed,
+            }
+            if interval_refs is not None and state["anchor"] is None:
+                state["anchor"] = self.telemetry_aggregate()
+
+            def on_round(executed_in_span: int) -> None:
+                state["round"] += 1
+                executed_total = prior_executed + executed_in_span
+                if (
+                    interval_refs is not None
+                    and executed_total - state["anchor_refs"] >= interval_refs
+                ):
+                    current = self.telemetry_aggregate()
+                    intervals.append(
+                        self._interval_delta(
+                            state["anchor_refs"], executed_total,
+                            state["anchor"], current,
+                        )
+                    )
+                    state["anchor"] = current
+                    state["anchor_refs"] = executed_total
+                if on_checkpoint is None:
+                    return
+                r = state["round"]
+                due = (
+                    checkpoint_refs is not None
+                    and executed_total - state["last_checkpoint"]
+                    >= checkpoint_refs
+                )
+                if (r == last_round or due) and r <= last_round and r > 0:
+                    from repro.sim.snapshot import capture_snapshot
+
+                    state["last_checkpoint"] = executed_total
+                    snapshot = capture_snapshot(
+                        self,
+                        trace,
+                        positions=[
+                            start + chunk * r for start in warmup_starts
+                        ],
+                        warmup_starts=warmup_starts,
+                        warmup_executed=warmup_executed,
+                        executed_refs=executed_total,
+                        intervals=intervals,
+                        interval_refs=interval_refs,
+                        anchor=state["anchor"],
+                        anchor_refs=state["anchor_refs"],
+                    )
+                    on_checkpoint(snapshot)
+
+        executed = executor.execute_span(positions, ends, on_round)
+
+        if interval_refs is not None:
+            executed_total = prior_executed + executed
+            if executed_total > state["anchor_refs"]:
+                current = self.telemetry_aggregate()
+                intervals.append(
+                    self._interval_delta(
+                        state["anchor_refs"], executed_total,
+                        state["anchor"], current,
+                    )
+                )
 
         energy = self.energy_model.compute(self.chip, self.stats)
         per_app = self._per_app_cycles(trace)
@@ -262,9 +571,10 @@ class Simulator:
             workload=trace.name,
             stats=self.stats,
             energy=energy,
-            warmup_references=warmup_refs,
+            warmup_references=warmup_executed,
             per_app_cycles=per_app,
             vm_names=list(trace.vm_names or []),
+            intervals=intervals,
         )
 
     def _validate_trace_shape(self, trace: WorkloadTrace) -> None:
@@ -354,14 +664,15 @@ class Simulator:
             workload, self.config.num_cpus, self.config.seed, refs_total
         )
 
-    def _execute(
+    def _execute_span(
         self,
         trace: WorkloadTrace,
         contexts: list[GuestProcess],
-        fraction: float,
-        skip_fraction: float = 0.0,
+        starts: list[int],
+        ends: list[int],
+        on_round=None,
     ) -> int:
-        """Execute streams between ``skip_fraction`` and ``fraction``.
+        """Execute streams between per-stream ``starts`` and ``ends``.
 
         This is the **reference engine** loop: one layered call path per
         reference.  The fast engine (:mod:`repro.sim.engine`) must stay
@@ -375,9 +686,11 @@ class Simulator:
         (:attr:`MachineStats.vm_of_cpu`) is updated at every chunk
         boundary so cycle charges land on the guest the pCPU is
         executing.
+
+        ``on_round`` (when given) is called after every full round-robin
+        round with the total references executed so far in this span --
+        the hook the telemetry/checkpoint driver builds on.
         """
-        starts = [int(len(s) * skip_fraction) for s in trace.streams]
-        ends = [int(len(s) * fraction) for s in trace.streams]
         positions = list(starts)
         pcpus = trace.pcpu_of_vcpu or list(range(trace.num_vcpus))
         vm_of_stream = trace.vm_of_vcpu if self.stats.vms else None
@@ -404,6 +717,8 @@ class Simulator:
                     )
                     executed += 1
                 positions[vcpu] = end
+            if active and on_round is not None:
+                on_round(executed)
         return executed
 
     def _execute_reference(

@@ -21,6 +21,74 @@ class EventCounter(Counter):
 
 
 @dataclass
+class IntervalSample:
+    """Machine-stats delta over one telemetry interval of a run.
+
+    The execution driver emits one sample per ``interval_refs`` retired
+    references (at round boundaries, so both engines agree bit-exactly)
+    plus a trailing sample covering the tail.  Every field is a *delta*
+    relative to the previous sample, so summing a run's samples
+    reproduces its final aggregate statistics (the conservation law
+    ``tests/test_snapshot.py`` enforces).
+
+    Attributes:
+        start_refs: post-warmup references retired when the interval
+            began.
+        end_refs: post-warmup references retired when it ended.
+        busy_cycles: cycles charged to CPU critical paths in the window.
+        coherence_cycles: subset of ``busy_cycles`` attributed to
+            translation coherence.
+        background_cycles: off-critical-path (migration daemon) cycles.
+        instructions: references retired in the window.
+        energy: energy accrued in the window (model units).
+        events: event-counter deltas (only events that moved).
+        vms: per-guest-VM deltas for consolidated runs (aligned with
+            :attr:`MachineStats.vms`); empty for single-VM runs.
+    """
+
+    start_refs: int
+    end_refs: int
+    busy_cycles: int
+    coherence_cycles: int
+    background_cycles: int
+    instructions: int
+    energy: float
+    events: dict[str, int] = field(default_factory=dict)
+    vms: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-compatible representation."""
+        data = {
+            "start_refs": self.start_refs,
+            "end_refs": self.end_refs,
+            "busy_cycles": self.busy_cycles,
+            "coherence_cycles": self.coherence_cycles,
+            "background_cycles": self.background_cycles,
+            "instructions": self.instructions,
+            "energy": self.energy,
+            "events": dict(self.events),
+        }
+        if self.vms:
+            data["vms"] = [dict(vm) for vm in self.vms]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "IntervalSample":
+        """Rebuild a sample from :meth:`to_dict` output."""
+        return cls(
+            start_refs=data["start_refs"],
+            end_refs=data["end_refs"],
+            busy_cycles=data["busy_cycles"],
+            coherence_cycles=data["coherence_cycles"],
+            background_cycles=data["background_cycles"],
+            instructions=data["instructions"],
+            energy=data["energy"],
+            events=dict(data.get("events", {})),
+            vms=[dict(vm) for vm in data.get("vms", [])],
+        )
+
+
+@dataclass
 class CpuStats:
     """Per-CPU cycle accounting.
 
@@ -65,6 +133,30 @@ class VmStats:
         self.busy_cycles += cycles
         if coherence:
             self.coherence_cycles += cycles
+
+    def to_dict(self) -> dict:
+        """Plain-dict form shared by telemetry, snapshots and the cache.
+
+        One encoder for all three serialization sites, so a new
+        :class:`VmStats` field cannot silently go missing from one of
+        them.
+        """
+        return {
+            "busy_cycles": self.busy_cycles,
+            "coherence_cycles": self.coherence_cycles,
+            "instructions": self.instructions,
+            "events": dict(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VmStats":
+        """Rebuild from :meth:`to_dict` output (shared by all decoders)."""
+        return cls(
+            busy_cycles=data["busy_cycles"],
+            coherence_cycles=data["coherence_cycles"],
+            instructions=data["instructions"],
+            events=EventCounter(data["events"]),
+        )
 
 
 @dataclass

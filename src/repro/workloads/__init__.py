@@ -37,6 +37,12 @@ from repro.workloads.multi import (
     make_multi_workload,
     parse_topology_name,
 )
+from repro.workloads.prefix import (
+    PREFIX_PREFIX,
+    PrefixCappedWorkload,
+    make_prefix_workload,
+    parse_prefix_name,
+)
 
 #: Registry of every named (non-mix) workload.
 WORKLOADS: dict[str, WorkloadSpec] = {
@@ -63,6 +69,8 @@ def make_workload(name: str) -> Workload:
         return make_scenario(name)
     if name.startswith(MULTI_PREFIX):
         return make_multi_workload(name)
+    if name.startswith(PREFIX_PREFIX):
+        return make_prefix_workload(name)
     if name.startswith("mix"):
         index_part, sep, apps_part = name[3:].partition("x")
         if not (sep and not apps_part):  # reject a trailing "x" with no count
@@ -73,13 +81,18 @@ def make_workload(name: str) -> Workload:
                 pass
             else:
                 return make_spec_mix(index, apps_per_mix=apps)
-    known = ", ".join(sorted(WORKLOADS)) + ", mixNN, mixNNxM, syn:..., multi:..."
+    known = (
+        ", ".join(sorted(WORKLOADS))
+        + ", mixNN, mixNNxM, syn:..., multi:..., prefix:<refs>:..."
+    )
     raise ValueError(f"unknown workload {name!r}; known: {known}")
 
 
 __all__ = [
     "APPS_PER_MIX",
     "MULTI_PREFIX",
+    "PREFIX_PREFIX",
+    "PrefixCappedWorkload",
     "MultiVmWorkload",
     "MultiprogrammedWorkload",
     "NUM_MIXES",
@@ -97,10 +110,12 @@ __all__ = [
     "generate_stream",
     "make_multi_workload",
     "make_paper_workload",
+    "make_prefix_workload",
     "make_scenario",
     "make_small_workload",
     "make_spec_mix",
     "make_workload",
+    "parse_prefix_name",
     "parse_scenario_name",
     "parse_topology_name",
     "scenario_spec",

@@ -151,6 +151,33 @@ class WorkloadTrace:
             )
         return len(pages)
 
+    def prefix(self, refs_total: int, name: Optional[str] = None) -> "WorkloadTrace":
+        """Return this trace truncated to ``refs_total`` references.
+
+        Every stream is capped at ``max(1, refs_total // num_vcpus)``
+        references (mirroring how the generators split a total across
+        threads); streams shorter than the cap pass through whole.  The
+        result shares the underlying arrays (numpy views), so prefixes
+        of one trace are *literal* prefixes of each other -- the
+        prefix-stability invariant checkpoint reuse depends on (see
+        ``src/repro/workloads/README.md``).
+        """
+        if refs_total <= 0:
+            raise ValueError("refs_total must be positive")
+        cap = max(1, refs_total // max(1, self.num_vcpus))
+        return WorkloadTrace(
+            name=name if name is not None else self.name,
+            streams=[stream[:cap] for stream in self.streams],
+            writes=[writes[:cap] for writes in self.writes],
+            process_of_vcpu=list(self.process_of_vcpu),
+            num_processes=self.num_processes,
+            app_names=list(self.app_names) if self.app_names else None,
+            vm_of_vcpu=list(self.vm_of_vcpu) if self.vm_of_vcpu else None,
+            pcpu_of_vcpu=list(self.pcpu_of_vcpu) if self.pcpu_of_vcpu else None,
+            vm_names=list(self.vm_names) if self.vm_names else None,
+            topology=self.topology,
+        )
+
 
 def generate_stream(
     spec: WorkloadSpec,

@@ -1,0 +1,147 @@
+"""Prefix-stable workload wrapper: ``prefix:<base_refs>:<workload>``.
+
+The raw trace generators are **not** prefix-stable in ``refs_total``:
+they draw addresses, offsets and write flags from one sequential RNG
+stream whose consumption depends on the requested length, so a
+10k-reference trace is *not* the first 10k references of the 20k-
+reference trace of the same workload (``tests/test_prefix_stability.py``
+pins this down; ``README.md`` in this package explains why it cannot be
+fixed without changing every committed result).
+
+Checkpointed incremental sweeps need the opposite property: when a
+``refs_total`` sweep reuses a checkpoint from a shorter run, the longer
+run's stream prefix must equal the shorter run's stream bit-for-bit.
+This wrapper provides it by construction: the inner workload is always
+generated at one fixed ``base_refs`` length, and the requested
+``refs_total`` merely truncates the streams
+(:meth:`~repro.workloads.base.WorkloadTrace.prefix`).  Truncations of
+one fixed trace are trivially prefixes of each other.
+
+Names round-trip through :func:`repro.workloads.make_workload`::
+
+    prefix:64000:syn:migration-daemon/seed=7
+    prefix:120000:canneal
+    prefix:48000:multi:syn:steady@2+syn:steady@2
+
+so prefix-capped runs flow through ``RunRequest`` / ``Session`` /
+``Sweep`` unchanged and get stable cache keys for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import MultiprogrammedWorkload, WorkloadTrace
+
+#: Prefix identifying prefix-capped workload names.
+PREFIX_PREFIX = "prefix:"
+
+
+def parse_prefix_name(name: str) -> tuple[int, str]:
+    """Split ``prefix:<base_refs>:<inner>`` into its two parts."""
+    if not name.startswith(PREFIX_PREFIX):
+        raise ValueError(
+            f"prefix-capped names start with {PREFIX_PREFIX!r}: {name!r}"
+        )
+    body = name[len(PREFIX_PREFIX):]
+    base_part, sep, inner = body.partition(":")
+    if not sep or not inner:
+        raise ValueError(
+            f"prefix-capped names look like prefix:<base_refs>:<workload>, "
+            f"got {name!r}"
+        )
+    try:
+        base_refs = int(base_part)
+    except ValueError:
+        raise ValueError(
+            f"bad base reference count {base_part!r} in {name!r}"
+        ) from None
+    if base_refs <= 0:
+        raise ValueError("prefix base_refs must be positive")
+    return base_refs, inner
+
+
+class _PrefixSpec:
+    """Minimal spec facade: the base length is the default trace length."""
+
+    __slots__ = ("refs_total",)
+
+    def __init__(self, refs_total: int) -> None:
+        self.refs_total = refs_total
+
+
+class PrefixCappedWorkload:
+    """A workload whose traces are prefixes of one fixed base trace.
+
+    Duck-compatible with the other workload classes (``name``, ``spec``,
+    ``multiprogrammed``, ``generate(num_vcpus, seed, refs_total)``).
+    ``generate`` always materializes the inner workload at ``base_refs``
+    total references and truncates to the requested ``refs_total``, so
+    for any two lengths the shorter trace is a literal prefix of the
+    longer one -- the invariant checkpointed sweeps rely on.
+    """
+
+    def __init__(self, inner, base_refs: int) -> None:
+        if base_refs <= 0:
+            raise ValueError("base_refs must be positive")
+        self.inner = inner
+        self.base_refs = base_refs
+
+    @property
+    def name(self) -> str:
+        """Canonical ``prefix:`` name."""
+        return f"{PREFIX_PREFIX}{self.base_refs}:{self.inner.name}"
+
+    @property
+    def spec(self):
+        """Spec facade: a default run uses the full base-length trace."""
+        return _PrefixSpec(self.base_refs)
+
+    @property
+    def multiprogrammed(self) -> bool:
+        """Whether the inner workload spans several guest processes."""
+        return bool(getattr(self.inner, "multiprogrammed", False))
+
+    def generate(
+        self,
+        num_vcpus: Optional[int] = None,
+        seed: int = 42,
+        refs_total: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Generate the base trace and truncate it to ``refs_total``.
+
+        ``refs_total`` must not exceed ``base_refs`` -- a longer request
+        could not be a prefix of the base trace, which would silently
+        break the one property this wrapper exists to provide.
+        """
+        inner = self.inner
+        if isinstance(inner, MultiprogrammedWorkload) and num_vcpus is not None:
+            # mirror resolve_trace's one-vCPU-per-application capping
+            num_vcpus = min(num_vcpus, len(inner.specs))
+        total = refs_total if refs_total is not None else self.base_refs
+        if total > self.base_refs:
+            raise ValueError(
+                f"refs_total {total} exceeds the prefix base "
+                f"{self.base_refs}; a prefix-capped workload cannot grow "
+                f"past its base trace"
+            )
+        trace = inner.generate(
+            num_vcpus=num_vcpus, seed=seed, refs_total=self.base_refs
+        )
+        return trace.prefix(total, name=self.name)
+
+
+def make_prefix_workload(name: str) -> PrefixCappedWorkload:
+    """Build a :class:`PrefixCappedWorkload` from a ``prefix:`` name."""
+    from repro.workloads import make_workload
+
+    base_refs, inner_name = parse_prefix_name(name)
+    return PrefixCappedWorkload(make_workload(inner_name), base_refs)
+
+
+__all__ = [
+    "PREFIX_PREFIX",
+    "PrefixCappedWorkload",
+    "make_prefix_workload",
+    "parse_prefix_name",
+]

@@ -284,3 +284,90 @@ class TestCli:
         assert main(args + ["--jobs", "2"]) == 0
         second = json.loads(capsys.readouterr().out)
         assert second == first
+
+
+class TestTimelineCli:
+    ARGS = [
+        "timeline",
+        "--workload",
+        "syn:migration-daemon/addr=zipf/seed=7",
+        "--protocols",
+        "software,hatric",
+        "--num-cpus",
+        "4",
+        "--refs",
+        "6000",
+        "--intervals",
+        "4",
+    ]
+
+    def test_timeline_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "timeline: syn:migration-daemon" in out
+        assert "software:" in out
+        assert "hatric:" in out
+        assert "coh.cycles" in out
+
+    def test_timeline_json_is_conserved(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["protocol"] for s in payload["series"]] == [
+            "software",
+            "hatric",
+        ]
+        for series in payload["series"]:
+            assert series["intervals"], "telemetry must produce samples"
+            assert (
+                sum(row["coherence_cycles"] for row in series["intervals"])
+                == series["coherence_cycles"]
+            )
+
+    def test_timeline_uses_the_session_cache(self, capsys, tmp_path):
+        args = self.ARGS + ["--cache-dir", str(tmp_path), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+        assert len(list(tmp_path.glob("*.json"))) >= 2
+
+
+class TestCacheCli:
+    def test_cache_info_and_prune(self, capsys, tmp_path):
+        # seed the cache through an ordinary cached run
+        assert (
+            main(
+                [
+                    "figure2",
+                    "--workloads",
+                    "facesim",
+                    "--num-cpus",
+                    "4",
+                    "--scale",
+                    "0.03",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        good = len(list(tmp_path.glob("*.json")))
+        assert good > 0
+        # plant one stale-schema entry and one torn file
+        (tmp_path / "stale.json").write_text(
+            '{"type": "simulation", "schema": -1}', encoding="utf-8"
+        )
+        (tmp_path / "torn.json").write_text("{torn", encoding="utf-8")
+
+        assert main(["cache", "--cache-dir", str(tmp_path), "info"]) == 0
+        out = capsys.readouterr().out
+        assert f"result entries: {good + 2}" in out
+
+        assert main(["cache", "--cache-dir", str(tmp_path), "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 stale" in out
+        assert not (tmp_path / "stale.json").exists()
+        assert not (tmp_path / "torn.json").exists()
+        assert len(list(tmp_path.glob("*.json"))) == good

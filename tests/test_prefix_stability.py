@@ -1,0 +1,142 @@
+"""Prefix stability in ``refs_total``: what holds, what does not.
+
+Checkpoint reuse across a ``refs_total`` sweep requires the longer
+trace's first N references to equal the shorter trace -- per stream,
+addresses and write flags both.  This suite pins down both sides of
+the contract documented in ``src/repro/workloads/README.md``:
+
+* the ``prefix:`` wrapper provides the invariant *by construction* for
+  every workload family (suite, mixes, ``syn:`` scenarios, ``multi:``
+  compositions);
+* the raw generators do **not** have it (their sequential RNG draws
+  shift with the requested length), which is exactly why the
+  checkpoint layer guards every reuse with a trace-prefix digest
+  (tests/test_snapshot.py exercises the guard end to end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import make_workload, parse_prefix_name
+from repro.workloads.prefix import PrefixCappedWorkload
+
+PREFIXABLE = (
+    "canneal",
+    "mix01x4",
+    "syn:migration-daemon/seed=7",
+    "syn:live-migration/seed=5",
+    "multi:syn:steady@2+syn:migration-daemon/seed=5@2",
+)
+
+
+def _is_prefix(short, long) -> bool:
+    if short.num_vcpus != long.num_vcpus:
+        return False
+    for s_stream, l_stream, s_writes, l_writes in zip(
+        short.streams, long.streams, short.writes, long.writes
+    ):
+        n = len(s_stream)
+        if n > len(l_stream):
+            return False
+        if not np.array_equal(l_stream[:n], s_stream):
+            return False
+        if not np.array_equal(l_writes[:n], s_writes):
+            return False
+    return True
+
+
+class TestPrefixWrapper:
+    @pytest.mark.parametrize("inner", PREFIXABLE)
+    def test_prefix_workloads_are_prefix_stable(self, inner: str) -> None:
+        base = 16000
+        workload = make_workload(f"prefix:{base}:{inner}")
+        short = workload.generate(num_vcpus=4, seed=42, refs_total=4000)
+        mid = workload.generate(num_vcpus=4, seed=42, refs_total=9000)
+        full = workload.generate(num_vcpus=4, seed=42)
+        assert _is_prefix(short, mid)
+        assert _is_prefix(mid, full)
+        assert len(short.streams[0]) < len(mid.streams[0]) < len(
+            full.streams[0]
+        )
+
+    def test_full_length_prefix_equals_raw_trace(self) -> None:
+        # at refs_total == base_refs the wrapper executes the same
+        # references as the raw workload at that length
+        raw = make_workload("syn:migration-daemon/seed=7").generate(
+            num_vcpus=4, seed=42, refs_total=12000
+        )
+        capped = make_workload(
+            "prefix:12000:syn:migration-daemon/seed=7"
+        ).generate(num_vcpus=4, seed=42, refs_total=12000)
+        assert _is_prefix(capped, raw) and _is_prefix(raw, capped)
+
+    def test_name_roundtrip_and_metadata(self) -> None:
+        name = "prefix:8000:syn:migration-daemon/seed=7"
+        workload = make_workload(name)
+        assert isinstance(workload, PrefixCappedWorkload)
+        assert workload.name == name
+        assert workload.spec.refs_total == 8000
+        assert parse_prefix_name(name) == (
+            8000, "syn:migration-daemon/seed=7"
+        )
+        trace = workload.generate(num_vcpus=4, seed=42, refs_total=4000)
+        assert trace.name == name
+
+    def test_refs_beyond_base_is_rejected(self) -> None:
+        workload = make_workload("prefix:4000:canneal")
+        with pytest.raises(ValueError):
+            workload.generate(num_vcpus=4, seed=42, refs_total=4001)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["prefix:canneal", "prefix:0:canneal", "prefix:-3:canneal",
+         "prefix:12x:canneal"],
+    )
+    def test_bad_names_are_rejected(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            make_workload(bad)
+
+    def test_trace_prefix_shares_memory(self) -> None:
+        # truncation returns views, not copies: prefixes of one trace
+        # are literally the same arrays
+        workload = make_workload("prefix:8000:canneal")
+        full = workload.generate(num_vcpus=4, seed=42)
+        short = full.prefix(4000)
+        assert short.streams[0].base is full.streams[0].base or (
+            short.streams[0].base is full.streams[0]
+        )
+
+
+class TestRawGeneratorsAreNotPrefixStable:
+    """Documents the *absence* of the invariant for raw generators.
+
+    If one of these starts passing, the generators' RNG consumption
+    changed -- which silently invalidates every committed golden and
+    cached result.  Treat a failure here as a stop sign, not as an
+    improvement: see src/repro/workloads/README.md.
+    """
+
+    @pytest.mark.parametrize(
+        "name",
+        ["canneal", "syn:migration-daemon/seed=7",
+         "multi:syn:steady@2+syn:migration-daemon/seed=5@2"],
+    )
+    def test_raw_traces_diverge_across_refs_total(self, name: str) -> None:
+        workload = make_workload(name)
+        short = workload.generate(num_vcpus=4, seed=42, refs_total=8000)
+        long = workload.generate(num_vcpus=4, seed=42, refs_total=16000)
+        assert not _is_prefix(short, long), (
+            "raw generators became prefix-stable; this changes every "
+            "generated trace -- see workloads/README.md before touching "
+            "this invariant"
+        )
+
+    def test_point_determinism_still_holds(self) -> None:
+        # the guarantee the caches rely on: same (name, vcpus, seed,
+        # refs) tuple, same trace, always
+        workload = make_workload("syn:migration-daemon/seed=7")
+        a = workload.generate(num_vcpus=4, seed=42, refs_total=8000)
+        b = workload.generate(num_vcpus=4, seed=42, refs_total=8000)
+        assert _is_prefix(a, b) and _is_prefix(b, a)
