@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Walkthrough: fleet-scale simulation with live migration.
+
+The fleet layer (:mod:`repro.fleet`) runs N simulated hosts side by
+side and live-migrates guests between them on a deterministic seeded
+schedule.  A migration is a real machine-state transfer -- snapshot
+capture on the source host, restore into the destination, and a
+dirty-page-logging write storm replayed on both ends -- so the
+translation coherence cost of migration is simulated, not modeled.
+
+Run with::
+
+    python examples/fleet_migration.py   # simulates three protocols
+    python examples/fleet_migration.py   # second run: pure cache hits
+
+Equivalent command line::
+
+    python -m repro fleet --hosts 2 --vms-per-host 2 --num-cpus 4 \
+        --epochs 3 --epoch-refs 1024 --storm-refs 64 --intensities 1,2
+"""
+
+from __future__ import annotations
+
+from repro import FleetRequest, Session
+from repro.api import default_cache_dir
+from repro.experiments import fleet_spec, format_fleet, run_fleet_experiment
+from repro.fleet import fleet_violations, migration_plan
+
+PROTOCOLS = ("software", "hatric", "ideal")
+
+
+def main() -> None:
+    # 1. Declare a fleet: 2 hosts x 2 migration-daemon guests each,
+    #    4 pCPUs per host, 3 round-aligned epochs of 1024 refs per
+    #    vCPU, one VM migrated per epoch wave (intensity=1).  This is
+    #    the smallest shape where the protocols separate (see
+    #    tests/golden/README.md).
+    spec = fleet_spec(
+        hosts=2,
+        vms_per_host=2,
+        num_cpus=4,
+        epochs=3,
+        epoch_refs=1024,
+        storm_refs=64,
+        intensity=1,
+    )
+    print(f"fleet: {spec.name}")
+
+    # 2. The migration schedule is a pure function of the spec --
+    #    computed from the placement map and a seeded RNG, never from
+    #    measured cycles -- so it is identical across protocols and
+    #    across both execution engines.
+    for epoch, wave in enumerate(migration_plan(spec)):
+        for vm, src, dst in wave:
+            print(f"  epoch {epoch}: vm{vm} host{src} -> host{dst}")
+
+    # 3. Run the same fleet under three coherence protocols through a
+    #    cached session.  A whole fleet run is one cacheable unit of
+    #    work (a `fleet:`-prefixed key), so re-running this script is
+    #    answered entirely from disk.
+    session = Session(cache_dir=default_cache_dir() / "fleet-example")
+    results = dict(
+        zip(
+            PROTOCOLS,
+            session.run_fleet(
+                [FleetRequest(spec=spec, protocol=p) for p in PROTOCOLS]
+            ),
+        )
+    )
+
+    print(f"\n{'protocol':>9}  {'makespan':>12}  {'vs ideal':>8}")
+    ideal = results["ideal"]
+    for protocol, result in results.items():
+        print(
+            f"{protocol:>9}  {result.makespan_cycles:>12,}  "
+            f"{result.makespan_cycles / ideal.makespan_cycles:>8.3f}"
+        )
+
+    # 4. Per-VM tail latency: each VM's cycles-per-ref per epoch,
+    #    exact nearest-rank percentiles, and SLO violations (epochs
+    #    slower than 1.5x that VM's own median).
+    print(f"\n{'vm':<26}  {'moves':>5}  {'p50':>8}  {'p99':>8}  {'slo':>3}")
+    for vm in results["software"].vms:
+        tail = vm["tail"]
+        print(
+            f"{vm['name']:<26}  {vm['migrations']:>5}  "
+            f"{tail['p50']:>8.1f}  {tail['p99']:>8.1f}  "
+            f"{vm['slo_violations']:>3}"
+        )
+
+    # 5. Differential validation: same per-VM work under every
+    #    protocol, ideal <= all, hatric <= software, migration counts
+    #    matching the plan.
+    violations = fleet_violations(results)
+    print(
+        "\ndifferential invariants: "
+        + ("OK" if not violations else "; ".join(violations))
+    )
+
+    # 6. The full study -- protocol x migration intensity -- is one
+    #    call; `python -m repro fleet` renders exactly this table (the
+    #    committed FLEET_6.txt is the default-shape run).
+    study = run_fleet_experiment(
+        num_cpus=4,
+        epochs=3,
+        epoch_refs=1024,
+        storm_refs=64,
+        intensities=(1, 2),
+        session=session,
+    )
+    print("\n" + format_fleet(study))
+    stats = session.stats
+    print(f"session: {stats.executed} simulated, {stats.disk_hits} from cache")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from repro.api import (
     SweepResult,
     default_session,
 )
+from repro.fleet import FleetRequest, FleetResult, FleetSpec, HostSpec
 from repro.sim.config import (
     CacheConfig,
     CoherenceDirectoryConfig,
@@ -63,6 +64,10 @@ __all__ = [
     "ENGINE_REFERENCE",
     "ENGINES",
     "ExperimentScale",
+    "FleetRequest",
+    "FleetResult",
+    "FleetSpec",
+    "HostSpec",
     "MemoryConfig",
     "PagingConfig",
     "PROTOCOLS",

@@ -115,6 +115,18 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
             "schema": CACHE_SCHEMA_VERSION,
             **dataclasses.asdict(result),
         }
+    if not isinstance(result, SimulationResult):
+        # imported lazily: repro.fleet sits above the api layer (its
+        # cache keys hash CACHE_SCHEMA_VERSION from this module)
+        from repro.fleet.metrics import FleetResult
+
+        if isinstance(result, FleetResult):
+            return {
+                "type": "fleet",
+                "schema": CACHE_SCHEMA_VERSION,
+                **result.to_dict(),
+            }
+        raise TypeError(f"cannot encode result type {type(result).__name__}")
     payload = {
         "type": "simulation",
         "schema": CACHE_SCHEMA_VERSION,
@@ -157,6 +169,10 @@ def decode_result(data: Mapping[str, Any]) -> AnyResult:
     if kind == "anatomy":
         fields = {k: v for k, v in data.items() if k not in ("type", "schema")}
         return AnatomyRow(**fields)
+    if kind == "fleet":
+        from repro.fleet.metrics import FleetResult
+
+        return FleetResult.from_dict(data)
     if kind != "simulation":
         raise ValueError(f"unknown cached result type {kind!r}")
     energy = data["energy"]
@@ -228,6 +244,34 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def fleet_traffic(self) -> dict[str, int]:
+        """Aggregate migration-snapshot traffic across cached fleet runs.
+
+        Scans the ``fleet:``-prefixed entries (current schema only) and
+        sums their transport counters, so ``repro cache info`` can show
+        how much snapshot traffic the cached fleet results represent.
+        Returns ``{"entries", "captures", "restores", "bytes"}``.
+        """
+        totals = {"entries": 0, "captures": 0, "restores": 0, "bytes": 0}
+        if not self.directory.is_dir():
+            return totals
+        for path in sorted(self.directory.glob("fleet:*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (
+                data.get("schema") != CACHE_SCHEMA_VERSION
+                or data.get("type") != "fleet"
+            ):
+                continue
+            transport = data.get("transport", {})
+            totals["entries"] += 1
+            for key in ("captures", "restores", "bytes"):
+                totals[key] += int(transport.get(key, 0))
+        return totals
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed."""

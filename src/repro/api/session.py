@@ -391,6 +391,58 @@ class Session:
             if self.disk_cache is not None:
                 self.disk_cache.put(key, result)
 
+    def run_fleet(self, requests: Sequence) -> list:
+        """Execute a batch of :class:`~repro.fleet.spec.FleetRequest`.
+
+        Fleet requests flow through the same memo, dedup and disk-cache
+        machinery as trace requests (their ``fleet:``-prefixed cache
+        keys keep the two populations disjoint on disk), but execute
+        through :func:`repro.fleet.engine.execute_fleet` -- a whole
+        fleet is one unit of work, so parallel sessions fan out at the
+        granularity of fleet runs.  Checkpointing does not apply: a
+        fleet run's mid-flight state spans several machines.
+        """
+        from repro.fleet.engine import execute_fleet
+
+        requests = list(requests)
+        self.stats.requested += len(requests)
+        pending: dict[str, object] = {}
+        for request in requests:
+            key = request.cache_key
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if key in pending:
+                self.stats.deduplicated += 1
+                continue
+            if self.disk_cache is not None:
+                cached = self.disk_cache.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.disk_hits += 1
+                    continue
+            pending[key] = request
+
+        if pending:
+            keys = list(pending)
+            todo = [pending[key] for key in keys]
+            parallel = (
+                self.max_workers is not None
+                and self.max_workers > 1
+                and len(todo) > 1
+            )
+            if parallel:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    results = list(pool.map(execute_fleet, todo))
+            else:
+                results = [execute_fleet(request) for request in todo]
+            for key, result in zip(keys, results):
+                self._memo[key] = result
+                self.stats.executed += 1
+                if self.disk_cache is not None:
+                    self.disk_cache.put(key, result)
+        return [self._memo[request.cache_key] for request in requests]
+
     def _execute_checkpointed(
         self, todo: list[RunRequest], parallel: bool
     ) -> list[AnyResult]:

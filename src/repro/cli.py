@@ -249,9 +249,136 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_consolidation_parser(subparsers, common)
     _add_scenario_parser(subparsers, common)
     _add_timeline_parser(subparsers, common)
+    _add_fleet_parser(subparsers, common)
     _add_cache_parser(subparsers)
     _add_bench_parser(subparsers)
     return parser
+
+
+def _add_fleet_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    from repro.experiments.fleet import (
+        DEFAULT_FLEET_WORKLOAD,
+        DEFAULT_INTENSITIES,
+        FLEET_PROTOCOLS,
+    )
+    from repro.fleet import MIGRATION_POLICIES
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        parents=[common],
+        help="fleet-scale study: live migration between simulated hosts",
+        description=(
+            "Simulate a datacenter of identical hosts whose guests live-"
+            "migrate between them on a deterministic schedule, sweeping "
+            "translation coherence protocols over migration intensity. "
+            "Each move ships the guest's page tables to the destination "
+            "and replays a dirty-logging write storm on both ends; the "
+            "table reports fleet makespan normalized to the ideal "
+            "protocol plus per-VM p99 tail latency and SLO violations.  "
+            "The exit code reflects the fleet differential invariants."
+        ),
+    )
+    fleet.add_argument(
+        "--hosts", type=int, default=2, metavar="N",
+        help="number of simulated hosts (default 2)",
+    )
+    fleet.add_argument(
+        "--vms-per-host", type=int, default=2, metavar="N",
+        help="guests initially placed on each host (default 2)",
+    )
+    fleet.add_argument(
+        "--workload",
+        default=DEFAULT_FLEET_WORKLOAD,
+        metavar="NAME",
+        help=f"per-guest tenant workload (default {DEFAULT_FLEET_WORKLOAD!r})",
+    )
+    fleet.add_argument(
+        "--vcpus", type=int, default=1, metavar="N",
+        help="vCPUs per guest (default 1)",
+    )
+    fleet.add_argument(
+        "--num-cpus", type=int, default=8, metavar="N",
+        help="pCPUs per host (default 8)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=42, metavar="N",
+        help="fleet master seed (default 42)",
+    )
+    fleet.add_argument(
+        "--policy",
+        default="round-robin",
+        choices=MIGRATION_POLICIES,
+        help="migration scheduling policy (default round-robin)",
+    )
+    fleet.add_argument(
+        "--epochs", type=int, default=4, metavar="N",
+        help="round-aligned execution epochs (default 4)",
+    )
+    fleet.add_argument(
+        "--epoch-refs", type=int, default=2048, metavar="N",
+        help="per-vCPU references per epoch; multiple of 32 (default 2048)",
+    )
+    fleet.add_argument(
+        "--storm-refs", type=int, default=512, metavar="N",
+        help="per-stream dirty-logging storm length; multiple of 32 "
+        "(default 512)",
+    )
+    fleet.add_argument(
+        "--intensities",
+        default=",".join(str(x) for x in DEFAULT_INTENSITIES),
+        metavar="N1,N2,...",
+        help=f"VMs migrated per wave, one fleet per value (default "
+        f"{','.join(str(x) for x in DEFAULT_INTENSITIES)})",
+    )
+    fleet.add_argument(
+        "--protocols",
+        default=",".join(FLEET_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: {','.join(FLEET_PROTOCOLS)})",
+    )
+    fleet.add_argument(
+        "--engine",
+        default=None,
+        choices=("reference", "fast"),
+        help="simulation engine (default: REPRO_SIM_ENGINE or fast)",
+    )
+
+
+def _run_fleet(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.experiments.fleet import format_fleet, run_fleet_experiment
+    from repro.experiments.output import experiment_output
+
+    if args.scale is not None:
+        raise ValueError(
+            "fleet does not take --scale (its epoch geometry is explicit; "
+            "use --epochs/--epoch-refs instead)"
+        )
+    study = run_fleet_experiment(
+        hosts=args.hosts,
+        vms_per_host=args.vms_per_host,
+        workload=args.workload,
+        vcpus=args.vcpus,
+        num_cpus=args.num_cpus,
+        seed=args.seed,
+        policy=args.policy,
+        epochs=args.epochs,
+        epoch_refs=args.epoch_refs,
+        storm_refs=args.storm_refs,
+        intensities=tuple(
+            int(x) for x in args.intensities.split(",") if x.strip()
+        ),
+        protocols=tuple(
+            p.strip() for p in args.protocols.split(",") if p.strip()
+        ),
+        engine=args.engine or "",
+        session=_session_from_args(args),
+    )
+    return experiment_output(
+        args.json,
+        study.to_dict,
+        lambda: format_fleet(study),
+        ok=study.ok,
+    )
 
 
 def _add_timeline_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -311,7 +438,8 @@ def _add_timeline_parser(subparsers, common: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_timeline(args: argparse.Namespace) -> str:
+def _run_timeline(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.experiments.output import experiment_output
     from repro.experiments.timeline import format_timeline, run_timeline
 
     result = run_timeline(
@@ -325,9 +453,9 @@ def _run_timeline(args: argparse.Namespace) -> str:
         scale=_scale_from_args(args),
         session=_session_from_args(args),
     )
-    if args.json:
-        return json.dumps(result.to_dict(), indent=2)
-    return format_timeline(result)
+    return experiment_output(
+        args.json, result.to_dict, lambda: format_timeline(result)
+    )
 
 
 def _add_cache_parser(subparsers) -> None:
@@ -371,10 +499,14 @@ def _run_cache(args: argparse.Namespace) -> tuple[str, int]:
     results = session.disk_cache
     checkpoints = session.checkpoint_store
     if args.cache_command == "info":
+        fleet = results.fleet_traffic()
         lines = [
             f"cache directory: {results.directory}",
             f"result entries: {len(results)}",
             f"checkpoints: {len(checkpoints)}",
+            f"fleet entries: {fleet['entries']}",
+            f"fleet snapshot traffic: {fleet['captures']} captures, "
+            f"{fleet['restores']} restores, {fleet['bytes']} bytes",
         ]
         return "\n".join(lines), 0
     # cache_command == "prune"
@@ -462,6 +594,8 @@ def _run_consolidation(args: argparse.Namespace) -> tuple[str, int]:
         run_consolidation,
     )
 
+    from repro.experiments.output import experiment_output
+
     result = run_consolidation(
         guest_counts=tuple(
             int(g) for g in args.guests.split(",") if g.strip()
@@ -479,14 +613,16 @@ def _run_consolidation(args: argparse.Namespace) -> tuple[str, int]:
         scale=_scale_from_args(args),
         session=_session_from_args(args),
     )
-    if args.json:
-        payload = {
+    return experiment_output(
+        args.json,
+        lambda: {
             "cells": [dataclasses.asdict(cell) for cell in result.cells],
             "violations": result.violations,
             "ok": result.ok,
-        }
-        return json.dumps(payload, indent=2), 0 if result.ok else 1
-    return format_consolidation(result), 0 if result.ok else 1
+        },
+        lambda: format_consolidation(result),
+        ok=result.ok,
+    )
 
 
 def _add_bench_parser(subparsers) -> None:
@@ -972,8 +1108,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _emit(text, None)
             return code
         if args.command == "timeline":
-            text = _run_timeline(args)
-        elif args.command == "sweep":
+            text, code = _run_timeline(args)
+            _emit(text, args.output)
+            return code
+        if args.command == "fleet":
+            text, code = _run_fleet(args)
+            _emit(text, args.output)
+            return code
+        if args.command == "sweep":
             text = _run_sweep(args)
         else:
             text = _run_figure(args.command, args)

@@ -57,10 +57,30 @@ from repro.experiments.timeline import (
     format_timeline,
     run_timeline,
 )
+from repro.experiments.fleet import (
+    FLEET_PROTOCOLS,
+    FleetStudyResult,
+    fleet_spec,
+    format_fleet,
+    run_fleet_experiment,
+)
+from repro.experiments.output import (
+    experiment_output,
+    render_table,
+    violations_footer,
+)
 
 __all__ = [
     "CONSOLIDATION_PROTOCOLS",
     "ExperimentScale",
+    "FLEET_PROTOCOLS",
+    "FleetStudyResult",
+    "experiment_output",
+    "fleet_spec",
+    "format_fleet",
+    "render_table",
+    "run_fleet_experiment",
+    "violations_footer",
     "anatomy_requests",
     "baseline_config",
     "consolidation_topology",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from repro.api import ExperimentScale, Session, Sweep
+from repro.experiments.output import render_table, violations_footer
 from repro.experiments.runner import baseline_config
 from repro.experiments.scenarios import differential_violations
 from repro.sim.config import (
@@ -219,22 +220,13 @@ def format_consolidation(result: ConsolidationResult) -> str:
     shapes = list(
         dict.fromkeys((cell.guests, cell.sharing) for cell in result.cells)
     )
-    labels = {shape: f"{shape[0]} guest(s), {shape[1]}" for shape in shapes}
-    name_width = max([len("shape")] + [len(l) for l in labels.values()])
-    header = f"{'shape':<{name_width}}" + "".join(
-        f"{p:>12}" for p in protocols
-    )
-    lines = [header, "-" * len(header)]
+    rows = []
     for shape in shapes:
-        values = ""
+        row = [f"{shape[0]} guest(s), {shape[1]}"]
         for protocol in protocols:
             value = result.value(shape[0], shape[1], protocol)
-            values += f"{value:>12.3f}" if value < 1e6 else f"{value:>12.3e}"
-        lines.append(f"{labels[shape]:<{name_width}}{values}")
-    if result.ok:
-        lines.append("differential invariants: OK")
-    else:
-        for name, violations in result.violations.items():
-            for violation in violations:
-                lines.append(f"VIOLATION {name}: {violation}")
+            row.append(f"{value:.3f}" if value < 1e6 else f"{value:.3e}")
+        rows.append(row)
+    lines = [render_table(["shape"] + protocols, rows)]
+    lines.extend(violations_footer(result.violations))
     return "\n".join(lines)

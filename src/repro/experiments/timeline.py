@@ -24,6 +24,7 @@ from typing import Any, Optional, Sequence
 from repro.api.request import RunRequest
 from repro.api.scale import ExperimentScale
 from repro.api.session import Session, default_session
+from repro.experiments.output import render_table
 from repro.experiments.runner import baseline_config
 from repro.sim.simulator import SimulationResult
 from repro.sim.stats import IntervalSample
@@ -215,18 +216,22 @@ def format_timeline(timeline: TimelineResult) -> str:
             f"coherence={result.coherence_cycles} "
             f"energy={result.energy_total:.0f}"
         )
-        header = (
-            f"  {'window (refs)':>17}  {'coh.cycles':>10}  {'remaps':>6}  "
-            f"{'msgs':>6}  coherence"
+        rows = [
+            [
+                f"{row['start_refs']}..{row['end_refs']}",
+                row["coherence_cycles"],
+                row["remaps"],
+                row["shootdown_messages"],
+                _bar(row["coherence_cycles"], peak),
+            ]
+            for row in series.interval_rows()
+        ]
+        table = render_table(
+            ["window (refs)", "coh.cycles", "remaps", "msgs", "coherence"],
+            rows,
+            aligns=["right", "right", "right", "right", "left"],
         )
-        lines.append(header)
-        for row in series.interval_rows():
-            window = f"{row['start_refs']}..{row['end_refs']}"
-            lines.append(
-                f"  {window:>17}  {row['coherence_cycles']:>10}  "
-                f"{row['remaps']:>6}  {row['shootdown_messages']:>6}  "
-                f"{_bar(row['coherence_cycles'], peak)}"
-            )
+        lines.extend(f"  {line}".rstrip() for line in table.splitlines())
     return "\n".join(lines)
 
 

@@ -1,0 +1,49 @@
+"""Fleet-scale simulation: N hosts, live migration, tail metrics.
+
+The paper's headline pathology -- translation-coherence storms under
+live migration's dirty-page logging -- is an *operator-scale* problem:
+what matters in a datacenter is the tail latency and SLO damage a
+migration wave inflicts across a whole cluster, not one machine's
+average.  This package models that layer on top of the single-machine
+simulator:
+
+* :mod:`repro.fleet.spec` -- :class:`FleetSpec` / :class:`HostSpec`
+  describe the cluster and a seeded, protocol-independent migration
+  plan (pluggable policies);
+* :mod:`repro.fleet.engine` -- drives every host's machine through
+  round-aligned epochs via the stepped executor, moving VMs between
+  hosts with snapshot capture/restore as the migration transport;
+* :mod:`repro.fleet.transport` -- the VM-scoped snapshot payloads;
+* :mod:`repro.fleet.metrics` -- per-VM tail latency (p50/p95/p99
+  cycles-per-ref), SLO violations, fleet fingerprints and the
+  differential invariants.
+
+Fleet runs are bit-identical across the reference and fast engines and
+across serial / process-pool sessions; `tests/test_fleet.py` enforces
+both.
+"""
+
+from repro.fleet.engine import execute_fleet
+from repro.fleet.metrics import FleetResult, fleet_violations
+from repro.fleet.spec import (
+    FLEET_PREFIX,
+    FLEET_SCHEMA_VERSION,
+    MIGRATION_POLICIES,
+    FleetRequest,
+    FleetSpec,
+    HostSpec,
+    migration_plan,
+)
+
+__all__ = [
+    "FLEET_PREFIX",
+    "FLEET_SCHEMA_VERSION",
+    "MIGRATION_POLICIES",
+    "FleetRequest",
+    "FleetResult",
+    "FleetSpec",
+    "HostSpec",
+    "execute_fleet",
+    "fleet_violations",
+    "migration_plan",
+]

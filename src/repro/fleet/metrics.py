@@ -1,0 +1,384 @@
+"""Fleet metrics: tail latency, SLO damage, fingerprints, invariants.
+
+This module turns the raw materials of a fleet run -- one
+:class:`~repro.sim.simulator.SimulationResult` and machine digest per
+host, per-epoch interval telemetry, the transport counters -- into a
+single JSON-round-trippable :class:`FleetResult`, and provides the
+fleet-level differential invariants (:func:`fleet_violations`) the
+``fleet`` experiment uses as its correctness oracle.
+
+The operator-facing numbers are *per-VM*: each epoch contributes one
+cycles-per-reference observation per VM (summed across the hosts the VM
+touched that epoch, so migration epochs charge both the source-side
+drain and the destination-side cold re-touch to the VM that moved), and
+the p50/p95/p99 of that series is the VM's tail latency.  An epoch is
+an SLO violation when it runs :data:`SLO_FACTOR` times slower than the
+VM's own median epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.sim.engine import result_fingerprint
+from repro.sim.simulator import SimulationResult
+from repro.sim.stats import nearest_rank_percentile
+
+#: An epoch whose cycles-per-ref exceeds this multiple of the VM's
+#: median epoch counts as an SLO violation for that VM.
+SLO_FACTOR = 1.5
+
+#: Event counters that represent translation-shootdown work, per
+#: protocol family (software IPIs/VM exits vs. hardware invalidation
+#: messages).  Kept in sync with the timeline experiment's event keys.
+SHOOTDOWN_EVENTS = (
+    "coherence.ipis",
+    "coherence.vm_exits",
+    "hatric.invalidation_messages",
+    "unitd.invalidation_messages",
+)
+
+#: The remap storms the shootdowns are triggered by.
+REMAP_EVENT = "coherence.remaps"
+
+
+# ----------------------------------------------------------------------
+# canonical hashing
+# ----------------------------------------------------------------------
+def _canon(obj: Any) -> Any:
+    """JSON-representable canonical form of an arbitrary digest payload.
+
+    Machine digests contain tuple dictionary keys (the hypervisor's
+    ``(vm_id, gpp)`` residency maps) and tuple values, which
+    ``json.dumps`` rejects; this recursion rewrites mappings as sorted
+    ``[key, value]`` pair lists and tuples as lists, so any two
+    structurally equal digests canonicalize to the same JSON text.
+    """
+    if isinstance(obj, Mapping):
+        pairs = [[_canon(key), _canon(value)] for key, value in obj.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return {"__pairs__": pairs}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def canonical_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``."""
+    blob = json.dumps(_canon(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fleet_fingerprint(
+    host_digests: list[dict], host_results: list[SimulationResult],
+    transport: Mapping[str, int],
+) -> str:
+    """The fleet run's identity: every host's machine *and* measurements.
+
+    Covers each host's full machine digest (TLBs, caches, directory,
+    residency), its result fingerprint (which includes the per-epoch
+    interval telemetry), and the migration transport counters -- so two
+    runs agree iff nothing observable anywhere in the fleet differed.
+    """
+    return canonical_digest(
+        {
+            "hosts": [
+                {"machine": digest, "result": result_fingerprint(result)}
+                for digest, result in zip(host_digests, host_results)
+            ],
+            "transport": dict(transport),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# result assembly
+# ----------------------------------------------------------------------
+@dataclass
+class FleetResult:
+    """Everything measured during one fleet run, in plain JSON types.
+
+    Attributes:
+        spec: the :class:`~repro.fleet.spec.FleetSpec` as a dict.
+        protocol: translation-coherence protocol the fleet ran under.
+        hosts: per-host summaries (runtime/busy/coherence cycles,
+            instructions, energy, events, machine digest hash, and the
+            per-epoch interval samples).
+        vms: per-VM summaries (totals, migration count, the per-epoch
+            cycles-per-ref series, p50/p95/p99, SLO violations).
+        totals: fleet-wide aggregates (makespan, shootdown cycles and
+            messages, remaps, energy).
+        transport: migration snapshot traffic (captures/restores/bytes).
+        migrations: executed moves as ``[epoch, vm, source, dest]``.
+        fingerprint: :func:`fleet_fingerprint` of the run.
+    """
+
+    spec: dict
+    protocol: str
+    hosts: list
+    vms: list
+    totals: dict
+    transport: dict
+    migrations: list
+    fingerprint: str
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Fleet completion time: the slowest host's runtime."""
+        return self.totals["makespan_cycles"]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "protocol": self.protocol,
+            "hosts": self.hosts,
+            "vms": self.vms,
+            "totals": self.totals,
+            "transport": self.transport,
+            "migrations": self.migrations,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FleetResult":
+        return cls(
+            spec=dict(data["spec"]),
+            protocol=data["protocol"],
+            hosts=list(data["hosts"]),
+            vms=list(data["vms"]),
+            totals=dict(data["totals"]),
+            transport=dict(data["transport"]),
+            migrations=[list(move) for move in data["migrations"]],
+            fingerprint=data["fingerprint"],
+        )
+
+
+def _vm_epoch_series(
+    host_results: list[SimulationResult], vm_index: int, epochs: int
+) -> list[float]:
+    """Per-epoch cycles-per-ref of one VM, summed across all hosts.
+
+    Epoch ``e`` is each host's ``e``-th interval sample; a migrating
+    VM's epoch therefore includes both its source-side storm and its
+    destination-side cold re-touch, wherever they were paid.
+    """
+    series: list[float] = []
+    for epoch in range(epochs):
+        busy = 0
+        refs = 0
+        for result in host_results:
+            sample = result.intervals[epoch]
+            if vm_index < len(sample.vms):
+                busy += sample.vms[vm_index]["busy_cycles"]
+                refs += sample.vms[vm_index]["instructions"]
+        if refs > 0:
+            series.append(busy / refs)
+    return series
+
+
+def build_fleet_result(
+    spec,
+    protocol: str,
+    host_results: list[SimulationResult],
+    host_digests: list[dict],
+    transport: Mapping[str, int],
+    plan: list[list[tuple[int, int, int]]],
+) -> FleetResult:
+    """Assemble the :class:`FleetResult` of one simulated fleet run."""
+    guests = spec.guest_configs()
+    migrations = [
+        [epoch, vm, src, dst]
+        for epoch, wave in enumerate(plan)
+        for vm, src, dst in wave
+    ]
+    moves_of_vm = [0] * len(guests)
+    for _, vm, _, _ in migrations:
+        moves_of_vm[vm] += 1
+
+    hosts = []
+    for result, digest in zip(host_results, host_digests):
+        stats = result.stats
+        hosts.append(
+            {
+                "runtime_cycles": stats.runtime_cycles,
+                "busy_cycles": stats.total_cycles,
+                "coherence_cycles": stats.coherence_cycles,
+                "background_cycles": stats.background_cycles,
+                "instructions": stats.total_instructions,
+                "energy": result.energy_total,
+                "events": dict(stats.events),
+                "digest": canonical_digest(digest),
+                "intervals": [sample.to_dict() for sample in result.intervals],
+            }
+        )
+
+    vms = []
+    for vm_index, guest in enumerate(guests):
+        series = _vm_epoch_series(host_results, vm_index, spec.epochs)
+        if series:
+            median = nearest_rank_percentile(series, 50)
+            percentiles = {
+                "p50": median,
+                "p95": nearest_rank_percentile(series, 95),
+                "p99": nearest_rank_percentile(series, 99),
+            }
+            slo_violations = sum(
+                1 for value in series if value > SLO_FACTOR * median
+            )
+        else:  # pragma: no cover - every VM retires work each epoch
+            percentiles = {}
+            slo_violations = 0
+        vms.append(
+            {
+                "name": f"vm{vm_index}:{guest.workload}",
+                "instructions": sum(
+                    r.stats.vms[vm_index].instructions for r in host_results
+                ),
+                "busy_cycles": sum(
+                    r.stats.vms[vm_index].busy_cycles for r in host_results
+                ),
+                "coherence_cycles": sum(
+                    r.stats.vms[vm_index].coherence_cycles
+                    for r in host_results
+                ),
+                "migrations": moves_of_vm[vm_index],
+                "cycles_per_ref": series,
+                "tail": percentiles,
+                "slo_violations": slo_violations,
+            }
+        )
+
+    def _event_total(key: str) -> int:
+        return sum(host["events"].get(key, 0) for host in hosts)
+
+    totals = {
+        "makespan_cycles": max(host["runtime_cycles"] for host in hosts),
+        "busy_cycles": sum(host["busy_cycles"] for host in hosts),
+        "coherence_cycles": sum(host["coherence_cycles"] for host in hosts),
+        "instructions": sum(host["instructions"] for host in hosts),
+        "energy": sum(host["energy"] for host in hosts),
+        "remaps": _event_total(REMAP_EVENT),
+        "shootdown_messages": {
+            key: _event_total(key) for key in SHOOTDOWN_EVENTS
+        },
+        "slo_violations": sum(vm["slo_violations"] for vm in vms),
+        "migrations": len(migrations),
+    }
+
+    return FleetResult(
+        spec=spec.to_dict(),
+        protocol=protocol,
+        hosts=hosts,
+        vms=vms,
+        totals=totals,
+        transport=dict(transport),
+        migrations=migrations,
+        fingerprint=fleet_fingerprint(host_digests, host_results, transport),
+    )
+
+
+# ----------------------------------------------------------------------
+# differential invariants
+# ----------------------------------------------------------------------
+def fleet_violations(results: Mapping[str, FleetResult]) -> list[str]:
+    """Check one fleet shape's per-protocol results against the invariants.
+
+    The fleet analogue of :func:`repro.experiments.scenarios.
+    differential_violations`: ``results`` maps protocol name to the
+    :class:`FleetResult` of the *same* :class:`FleetSpec`.  Returns
+    human-readable violation descriptions (empty = all hold).
+    """
+    violations: list[str] = []
+    for protocol, result in results.items():
+        for host_index, host in enumerate(result.hosts):
+            for key in (
+                "runtime_cycles",
+                "busy_cycles",
+                "coherence_cycles",
+                "background_cycles",
+                "instructions",
+            ):
+                if host[key] < 0:
+                    violations.append(
+                        f"{protocol}: host{host_index} negative {key}="
+                        f"{host[key]}"
+                    )
+            for event, count in host["events"].items():
+                if count < 0:
+                    violations.append(
+                        f"{protocol}: host{host_index} negative event "
+                        f"counter {event}={count}"
+                    )
+
+    # Identical work: the migration plan is protocol-independent, so
+    # every protocol must retire the same references -- fleet-wide, per
+    # VM, and ship the same snapshot bytes.
+    retired = {p: r.totals["instructions"] for p, r in results.items()}
+    if len(set(retired.values())) > 1:
+        violations.append(f"retired reference counts differ: {retired}")
+    per_vm = {
+        p: tuple(vm["instructions"] for vm in r.vms)
+        for p, r in results.items()
+    }
+    if len(set(per_vm.values())) > 1:
+        violations.append(f"per-VM reference counts differ: {per_vm}")
+    # Payload *bytes* are legitimately protocol-dependent (the guest
+    # page tables' accessed/dirty bits reflect how often each protocol
+    # forced re-walks), but the move count is part of the plan.
+    traffic = {
+        p: (r.transport["captures"], r.transport["restores"])
+        for p, r in results.items()
+    }
+    if len(set(traffic.values())) > 1:
+        violations.append(f"migration transport differs: {traffic}")
+
+    ideal = results.get("ideal")
+    if ideal is not None:
+        for protocol, result in results.items():
+            if result.makespan_cycles < ideal.makespan_cycles:
+                violations.append(
+                    f"ideal slower than {protocol} on makespan: "
+                    f"{ideal.makespan_cycles} > {result.makespan_cycles}"
+                )
+            for host_index, (host, ideal_host) in enumerate(
+                zip(result.hosts, ideal.hosts)
+            ):
+                if host["runtime_cycles"] < ideal_host["runtime_cycles"]:
+                    violations.append(
+                        f"ideal slower than {protocol} on host{host_index}: "
+                        f"{ideal_host['runtime_cycles']} > "
+                        f"{host['runtime_cycles']}"
+                    )
+    hatric, software = results.get("hatric"), results.get("software")
+    if hatric is not None and software is not None:
+        if hatric.makespan_cycles > software.makespan_cycles:
+            violations.append(
+                f"hatric slower than software on makespan: "
+                f"{hatric.makespan_cycles} > {software.makespan_cycles}"
+            )
+        for host_index, (h_host, s_host) in enumerate(
+            zip(hatric.hosts, software.hosts)
+        ):
+            if h_host["runtime_cycles"] > s_host["runtime_cycles"]:
+                violations.append(
+                    f"hatric slower than software on host{host_index}: "
+                    f"{h_host['runtime_cycles']} > {s_host['runtime_cycles']}"
+                )
+    return violations
+
+
+__all__ = [
+    "REMAP_EVENT",
+    "SHOOTDOWN_EVENTS",
+    "SLO_FACTOR",
+    "FleetResult",
+    "build_fleet_result",
+    "canonical_digest",
+    "fleet_fingerprint",
+    "fleet_violations",
+]

@@ -807,3 +807,91 @@ class Simulator:
                 name = f"app{cpu:02d}"
             per_app[name] = self.stats.cpus[cpu].busy_cycles
         return per_app
+
+
+class SteppedRun:
+    """Externally driven execution: advance a machine span by span.
+
+    :meth:`Simulator.run` owns its whole execution; a *stepped* run
+    hands that control to the caller, which is what multi-machine
+    drivers (the fleet layer) need: every simulated host advances
+    through the same global schedule of round-aligned spans, with the
+    driver interleaving snapshot transport between spans.  Both engines
+    execute each span bit-identically, so a stepped run remains as
+    deterministic as a straight-through one.
+
+    The run executes with no warmup (statistics accumulate from the
+    first reference) and assembles a perfectly ordinary
+    :class:`SimulationResult` on demand.
+    """
+
+    def __init__(self, simulator: Simulator, trace: WorkloadTrace) -> None:
+        simulator._validate_trace_shape(trace)
+        self.simulator = simulator
+        self.trace = trace
+        self.contexts = simulator._create_guests(trace)
+        self.executor = make_executor(simulator, trace, self.contexts)
+        self.positions = [0] * trace.num_vcpus
+        self.executed_refs = 0
+        self.intervals: list[IntervalSample] = []
+        self._anchor = simulator.telemetry_aggregate()
+        self._anchor_refs = 0
+
+    def advance(self, spans: dict[int, int]) -> int:
+        """Execute streams up to per-stream target positions.
+
+        ``spans`` maps stream index to its new end position; unnamed
+        streams do not move (their span is empty, which both engines
+        skip identically).  Targets may not move a stream backwards.
+        Returns the references executed.
+        """
+        ends = list(self.positions)
+        for stream, end in spans.items():
+            if end < self.positions[stream]:
+                raise ValueError(
+                    f"stream {stream} cannot move backwards: "
+                    f"{self.positions[stream]} -> {end}"
+                )
+            if end > len(self.trace.streams[stream]):
+                raise ValueError(
+                    f"stream {stream} target {end} beyond its "
+                    f"{len(self.trace.streams[stream])} references"
+                )
+            ends[stream] = end
+        executed = self.executor.execute_span(list(self.positions), ends)
+        self.positions = ends
+        self.executed_refs += executed
+        return executed
+
+    def sample_interval(self) -> IntervalSample:
+        """Close the current telemetry interval and start the next.
+
+        The sample is the statistics delta since the previous call (or
+        construction), exactly like the interval telemetry a
+        :meth:`Simulator.run` with ``interval_refs`` emits; samples are
+        collected on :attr:`intervals` and carried into the result.
+        """
+        current = self.simulator.telemetry_aggregate()
+        sample = Simulator._interval_delta(
+            self._anchor_refs, self.executed_refs, self._anchor, current
+        )
+        self._anchor = current
+        self._anchor_refs = self.executed_refs
+        self.intervals.append(sample)
+        return sample
+
+    def result(self) -> SimulationResult:
+        """Assemble the run's measurements so far."""
+        simulator = self.simulator
+        return SimulationResult(
+            config=simulator.config,
+            workload=self.trace.name,
+            stats=simulator.stats,
+            energy=simulator.energy_model.compute(
+                simulator.chip, simulator.stats
+            ),
+            warmup_references=0,
+            per_app_cycles=simulator._per_app_cycles(self.trace),
+            vm_names=list(self.trace.vm_names or []),
+            intervals=self.intervals,
+        )

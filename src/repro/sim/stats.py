@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional, Sequence
 
 
 class EventCounter(Counter):
@@ -86,6 +86,67 @@ class IntervalSample:
             events=dict(data.get("events", {})),
             vms=[dict(vm) for vm in data.get("vms", [])],
         )
+
+
+def nearest_rank_percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (inclusive, exact).
+
+    Deterministic and interpolation-free, so percentile columns in
+    committed experiment tables never drift with a numerics library
+    version: the ``pct``-th percentile is the smallest value such that
+    at least ``pct`` percent of the samples are <= it.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 < pct <= 100.0:
+        raise ValueError("pct must be in (0, 100]")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def cycles_per_ref_series(
+    samples: Iterable["IntervalSample"], vm_index: Optional[int] = None
+) -> list[float]:
+    """Per-interval cycles-per-reference, the telemetry latency proxy.
+
+    With ``vm_index`` the series is scoped to one guest VM of a
+    consolidated run (using the per-VM deltas each sample carries);
+    intervals in which that VM retired nothing are skipped, since a
+    latency has no meaning for work that did not run.
+    """
+    series: list[float] = []
+    for sample in samples:
+        if vm_index is None:
+            busy, refs = sample.busy_cycles, sample.instructions
+        else:
+            if vm_index >= len(sample.vms):
+                continue
+            vm = sample.vms[vm_index]
+            busy, refs = vm["busy_cycles"], vm["instructions"]
+        if refs > 0:
+            series.append(busy / refs)
+    return series
+
+
+def tail_latency_percentiles(
+    samples: Iterable["IntervalSample"],
+    vm_index: Optional[int] = None,
+    percentiles: Sequence[float] = (50, 95, 99),
+) -> dict[str, float]:
+    """p50/p95/p99 (by default) cycles-per-ref over interval telemetry.
+
+    The fleet metrics layer uses this per VM: a migration wave shows up
+    as a fat p99 relative to p50 in the cycles-per-ref distribution.
+    Returns an empty dict when no interval retired any references.
+    """
+    series = cycles_per_ref_series(samples, vm_index)
+    if not series:
+        return {}
+    return {
+        f"p{pct:g}": nearest_rank_percentile(series, pct)
+        for pct in percentiles
+    }
 
 
 @dataclass

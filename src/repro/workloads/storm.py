@@ -1,0 +1,73 @@
+"""Migration-storm trace segments: dirty-logging write sweeps.
+
+Live migration's pre-copy phase walks the guest's memory linearly,
+logging and re-copying dirty pages; the paper's ``syn:live-migration``
+scenario models the *steady-state* version of that storm.  The fleet
+layer needs the same behaviour as a composable **segment**: a short,
+forced-write linear sweep over one VM's own footprint, spliced into the
+VM's reference streams at each migration -- on the source while the
+dirty log drains, and on the destination as the moved guest re-touches
+its (now cold) pages.
+
+Segments are pure functions of their arguments, so fleet traces stay
+bit-reproducible across processes and engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.translation.address import PAGE_SHIFT
+
+#: Stride between consecutive sweep lanes, in pages.  Prime and larger
+#: than a typical per-stream sweep, so the vCPUs of one guest walk
+#: interleaved but distinct regions instead of hammering the same page.
+LANE_STRIDE_PAGES = 257
+
+
+def stream_page_span(streams: list[np.ndarray]) -> tuple[int, int]:
+    """The (base_page, footprint_pages) covered by a VM's streams.
+
+    Derived from the trace itself rather than the workload spec, so the
+    storm sweeps exactly the pages the guest actually touches no matter
+    which generator (suite, ``mixNN``, ``syn:``) produced them.
+    """
+    lo = min(int(stream.min()) for stream in streams) >> PAGE_SHIFT
+    hi = max(int(stream.max()) for stream in streams) >> PAGE_SHIFT
+    return lo, hi - lo + 1
+
+
+def storm_segment(
+    base_page: int,
+    footprint_pages: int,
+    length: int,
+    sweep: int,
+    lane: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One stream's slice of one migration storm.
+
+    Args:
+        base_page: first guest virtual page of the VM's footprint.
+        footprint_pages: pages the sweep wraps around within.
+        length: references in the segment.
+        sweep: which migration this is for the VM (successive storms
+            resume where the previous sweep left off, like successive
+            pre-copy rounds).
+        lane: the stream's index within the VM (lanes are offset so a
+            multi-vCPU guest's threads sweep disjoint regions).
+
+    Returns ``(addresses, writes)``: int64 guest virtual addresses and
+    an all-True write-flag array (dirty logging is write traffic).
+    """
+    if footprint_pages <= 0:
+        raise ValueError("footprint_pages must be positive")
+    if length <= 0:
+        raise ValueError("length must be positive")
+    start = (sweep * length + lane * LANE_STRIDE_PAGES) % footprint_pages
+    pages = (start + np.arange(length, dtype=np.int64)) % footprint_pages
+    addresses = (base_page + pages) << PAGE_SHIFT
+    writes = np.ones(length, dtype=bool)
+    return addresses, writes
+
+
+__all__ = ["LANE_STRIDE_PAGES", "storm_segment", "stream_page_span"]
