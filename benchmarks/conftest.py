@@ -28,6 +28,7 @@ import pytest
 
 from repro.api import default_session
 from repro.experiments.runner import ExperimentScale
+from repro.env import env_choice, env_float
 
 #: Directory holding the committed tables (written only when
 #: ``REPRO_UPDATE_RESULTS=1``).
@@ -38,7 +39,8 @@ _tmp_results_dir: Path | None = None
 
 def update_results() -> bool:
     """True when tables should overwrite the committed results."""
-    return os.environ.get("REPRO_UPDATE_RESULTS", "0") not in ("", "0", "false")
+    raw = env_choice("REPRO_UPDATE_RESULTS", "0", ("0", "false", "1", "true"))
+    return raw in ("1", "true")
 
 
 def results_dir() -> Path:
@@ -52,8 +54,8 @@ def results_dir() -> Path:
     """
     global _tmp_results_dir
     if update_results():
-        scale = os.environ.get("REPRO_BENCH_SCALE", "0.35")
-        if float(scale) != 0.35:
+        scale = env_float("REPRO_BENCH_SCALE", 0.35, positive=True)
+        if scale != 0.35:
             raise RuntimeError(
                 f"REPRO_UPDATE_RESULTS=1 would overwrite the committed "
                 f"benchmarks/results/ tables at REPRO_BENCH_SCALE={scale}; "
@@ -72,19 +74,19 @@ def results_dir() -> Path:
 def bench_scale() -> ExperimentScale:
     """Trace scale used by the benchmarks (env-overridable)."""
     return ExperimentScale(
-        trace_scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+        trace_scale=env_float("REPRO_BENCH_SCALE", 0.35, positive=True)
     )
 
 
 def full_sweeps() -> bool:
     """True when the full parameter sweeps should be run."""
-    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+    return env_choice("REPRO_BENCH_FULL", "0", ("0", "false", "1", "true")) in ("1", "true")
 
 
 def save_table(name: str, table: str) -> Path:
     """Write a regenerated table to the active results directory."""
     path = results_dir() / f"{name}.txt"
-    scale = os.environ.get("REPRO_BENCH_SCALE", "0.35")
+    scale = env_float("REPRO_BENCH_SCALE", 0.35, positive=True)
     header = f"# regenerated with REPRO_BENCH_SCALE={scale}\n"
     path.write_text(header + table + "\n")
     return path

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, NamedTuple, Optional, Union
 
 from repro.api.request import (
     CACHE_SCHEMA_VERSION,
@@ -38,6 +39,40 @@ AnyResult = Union[SimulationResult, AnatomyRow]
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+logger = logging.getLogger(__name__)
+
+
+class CacheDecodeError(ValueError):
+    """A cache entry is structurally not a result this code can decode.
+
+    Raised (and caught as a miss) for malformed-but-parseable entries;
+    deliberately *not* raised for same-schema entries whose decode blows
+    up with ``KeyError``/``TypeError`` -- that is an encoder/decoder bug
+    and must propagate instead of masquerading as a miss and being
+    deleted by ``prune``.
+    """
+
+
+class StaleSchemaError(CacheDecodeError):
+    """A cache entry is stamped with a different schema version.
+
+    The explicit (counted, logged) case: the entry may be perfectly
+    well-formed -- possibly written by a *newer* version of this code --
+    it just cannot be used by the running one.
+    """
+
+
+class PruneStats(NamedTuple):
+    """Outcome of one prune pass over an on-disk store."""
+
+    #: stale/undecodable (or surplus) entries actually deleted.
+    removed: int
+    #: healthy entries left on disk.
+    kept: int
+    #: entries that should have been deleted but could not be
+    #: (``unlink`` failed); they are neither pruned nor healthy.
+    failed: int
 
 
 def default_cache_dir() -> Path:
@@ -155,13 +190,14 @@ def encode_result(result: AnyResult) -> dict[str, Any]:
 def decode_result(data: Mapping[str, Any]) -> AnyResult:
     """Rebuild a result from :func:`encode_result` output.
 
-    Raises :class:`ValueError` when the entry's schema stamp does not
-    match the running code's :data:`CACHE_SCHEMA_VERSION` (missing
-    stamp included), so callers treat stale entries as cache misses.
+    Raises :class:`StaleSchemaError` when the entry's schema stamp does
+    not match the running code's :data:`CACHE_SCHEMA_VERSION` (missing
+    stamp included) and :class:`CacheDecodeError` for entries of unknown
+    type, so callers treat those -- and only those -- as cache misses.
     """
     schema = data.get("schema")
     if schema != CACHE_SCHEMA_VERSION:
-        raise ValueError(
+        raise StaleSchemaError(
             f"cached result has schema {schema!r}, current code expects "
             f"{CACHE_SCHEMA_VERSION}; ignoring stale entry"
         )
@@ -174,7 +210,7 @@ def decode_result(data: Mapping[str, Any]) -> AnyResult:
 
         return FleetResult.from_dict(data)
     if kind != "simulation":
-        raise ValueError(f"unknown cached result type {kind!r}")
+        raise CacheDecodeError(f"unknown cached result type {kind!r}")
     energy = data["energy"]
     return SimulationResult(
         config=config_from_dict(data["config"]),
@@ -205,6 +241,10 @@ class ResultCache:
         self.directory = (
             Path(directory).expanduser() if directory else default_cache_dir()
         )
+        #: per-instance miss accounting: schema-mismatched entries vs
+        #: unreadable/corrupt ones (tests and diagnostics read these).
+        self.stale_schema_misses = 0
+        self.decode_error_misses = 0
 
     def path_for(self, key: str) -> Path:
         """Cache file path for one key."""
@@ -213,8 +253,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[AnyResult]:
         """Return the cached result for ``key``, or None.
 
-        Corrupt or unreadable entries are treated as misses rather than
-        errors, so a truncated write never wedges the cache.
+        Unreadable, corrupt, and schema-mismatched entries are treated
+        as misses rather than errors, so a truncated write never wedges
+        the cache -- but only those: a ``KeyError``/``TypeError`` out of
+        a *current-schema* entry is a (de)serializer bug and propagates.
         """
         path = self.path_for(key)
         try:
@@ -222,7 +264,13 @@ class ResultCache:
                 return decode_result(json.load(handle))
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except StaleSchemaError as error:
+            self.stale_schema_misses += 1
+            logger.warning("cache miss (stale schema) for %s: %s", path, error)
+            return None
+        except (OSError, json.JSONDecodeError, CacheDecodeError) as error:
+            self.decode_error_misses += 1
+            logger.warning("cache miss (undecodable) for %s: %s", path, error)
             return None
 
     def put(self, key: str, result: AnyResult) -> Path:
@@ -285,30 +333,35 @@ class ResultCache:
                     pass
         return removed
 
-    def prune(self) -> tuple[int, int]:
+    def prune(self) -> PruneStats:
         """Delete stale (schema-mismatched) and undecodable entries.
 
         :meth:`get` already treats such entries as misses, but a miss
         leaves the file in place forever; this pass removes them so a
         long-lived cache directory does not accumulate dead weight
-        across schema bumps.  Returns ``(removed, kept)``.
+        across schema bumps.  Returns :class:`PruneStats`; a stale entry
+        whose ``unlink`` fails counts as ``failed``, never as pruned or
+        kept.
         """
-        removed = kept = 0
+        removed = kept = failed = 0
         if not self.directory.is_dir():
-            return (0, 0)
+            return PruneStats(0, 0, 0)
         for path in sorted(self.directory.glob("*.json")):
             stale = False
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     decode_result(json.load(handle))
-            except (OSError, ValueError, KeyError, TypeError):
+            except (OSError, json.JSONDecodeError, CacheDecodeError):
                 stale = True
             if stale:
                 try:
                     path.unlink()
                     removed += 1
-                except OSError:
-                    kept += 1
+                except OSError as error:
+                    logger.warning(
+                        "prune failed to delete %s: %s", path, error
+                    )
+                    failed += 1
             else:
                 kept += 1
-        return (removed, kept)
+        return PruneStats(removed, kept, failed)

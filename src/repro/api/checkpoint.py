@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import re
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from repro.api.cache import write_text_atomic
+from repro.api.cache import PruneStats, write_text_atomic
 from repro.api.request import CACHE_SCHEMA_VERSION, RunRequest
 from repro.sim.config import config_to_dict
 from repro.sim.snapshot import (
@@ -45,6 +46,8 @@ CHECKPOINT_SUBDIR = "checkpoints"
 PRUNE_KEEP_PER_FAMILY = 8
 
 _FILE_PATTERN = re.compile(r"^(?P<family>[0-9a-f]{64})-(?P<refs>\d{12})\.json$")
+
+logger = logging.getLogger(__name__)
 
 
 def checkpoint_family_key(request: RunRequest) -> str:
@@ -83,6 +86,10 @@ class CheckpointStore:
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory).expanduser()
+        #: per-instance miss accounting, mirroring
+        #: :class:`repro.api.cache.ResultCache`.
+        self.stale_schema_misses = 0
+        self.decode_error_misses = 0
 
     def path_for(self, family: str, executed_refs: int) -> Path:
         """Checkpoint file path for one (family, executed refs) pair."""
@@ -107,20 +114,30 @@ class CheckpointStore:
 
         Returns None for unreadable, corrupt or schema-mismatched
         entries (callers treat those as cache misses; :meth:`prune`
-        deletes them).
+        deletes them).  Schema mismatches -- possibly well-formed
+        entries from a different code version -- are counted and logged
+        separately from undecodable files.
         """
         try:
             with Path(path).open("r", encoding="utf-8") as handle:
                 data = json.load(handle)
-        except (OSError, ValueError):
+        except (OSError, json.JSONDecodeError):
+            self.decode_error_misses += 1
             return None
         if not isinstance(data, dict):
+            self.decode_error_misses += 1
             return None
         if data.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            self.stale_schema_misses += 1
+            logger.warning(
+                "checkpoint miss (stale schema %r, expected %r) for %s",
+                data.get("cache_schema"), CACHE_SCHEMA_VERSION, path,
+            )
             return None
         try:
             validate_snapshot(data)
         except SnapshotError:
+            self.decode_error_misses += 1
             return None
         return data
 
@@ -162,29 +179,34 @@ class CheckpointStore:
 
     def prune(
         self, keep_per_family: int = PRUNE_KEEP_PER_FAMILY
-    ) -> tuple[int, int]:
+    ) -> PruneStats:
         """Delete stale, undecodable and surplus checkpoints.
 
-        Returns ``(removed, kept)``.  Mirrors
+        Returns :class:`~repro.api.cache.PruneStats`.  Mirrors
         :meth:`repro.api.cache.ResultCache.prune` for entries that
         :meth:`load` would reject as misses, and additionally bounds
         disk use by keeping only the ``keep_per_family`` largest-refs
         checkpoints of each family (complete machine snapshots are
         large, and every checkpointed run leaves at least one behind).
+        An entry whose ``unlink`` fails counts as ``failed``, never as
+        pruned; healthy surplus entries that fail to delete stay
+        ``kept`` as well (they are still usable checkpoints).
         """
-        removed = kept = 0
+        removed = kept = failed = 0
         if not self.directory.is_dir():
-            return (0, 0)
+            return PruneStats(0, 0, 0)
         families: dict[str, list[int]] = {}
         for path in sorted(self.directory.glob("*.json")):
             if self.load(path) is None:
                 try:
                     path.unlink()
                     removed += 1
-                    continue
-                except OSError:
-                    kept += 1
-                    continue
+                except OSError as error:
+                    logger.warning(
+                        "prune failed to delete %s: %s", path, error
+                    )
+                    failed += 1
+                continue
             kept += 1
             match = _FILE_PATTERN.match(path.name)
             if match is not None:
@@ -197,9 +219,13 @@ class CheckpointStore:
                     self.path_for(family, surplus).unlink()
                     removed += 1
                     kept -= 1
-                except OSError:
-                    pass
-        return (removed, kept)
+                except OSError as error:
+                    logger.warning(
+                        "prune failed to delete %s: %s",
+                        self.path_for(family, surplus), error,
+                    )
+                    failed += 1
+        return PruneStats(removed, kept, failed)
 
 
 __all__ = [

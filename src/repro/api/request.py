@@ -64,8 +64,8 @@ class RunRequest:
             results).
         experiment: ``"trace"`` or ``"remap"``.
         engine: simulation engine, ``""`` (process default — usually the
-            fast engine), ``"fast"`` or ``"reference"``.  Both engines
-            produce bit-identical results, so the engine only enters the
+            fast engine), ``"reference"``, ``"fast"`` or ``"soa"``.  All
+            engines produce bit-identical results, so the engine only enters the
             cache key when explicitly non-default (letting benchmarks
             force a re-simulation on a specific engine without
             invalidating default-engine caches).

@@ -19,22 +19,30 @@ baseline of Figures 7-9 and 13, and it runs once.
 from __future__ import annotations
 
 import functools
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-from repro.api.cache import CACHE_DIR_ENV_VAR, AnyResult, ResultCache
+from repro.api.cache import (
+    CACHE_DIR_ENV_VAR,
+    AnyResult,
+    PruneStats,
+    ResultCache,
+)
 from repro.api.checkpoint import (
     CHECKPOINT_SUBDIR,
     CheckpointStore,
     checkpoint_family_key,
 )
 from repro.api.request import EXPERIMENT_REMAP, RunRequest
+from repro.env import env_int
 from repro.sim.engine import (
     ENGINE_FAST,
     ENGINE_REFERENCE,
+    ENGINE_SOA,
     FastPathMismatchError,
     diff_fingerprints,
     resolve_engine,
@@ -66,6 +74,21 @@ CHECKPOINT_COUNTERS = {"restored": 0, "saved": 0, "cold": 0}
 CANDIDATE_SCAN_LIMIT = 4
 
 
+def _worker_pool(max_workers: Optional[int]) -> ProcessPoolExecutor:
+    """A worker pool with the start method pinned to ``spawn``.
+
+    The platform default is ``fork`` on Linux and ``spawn`` on macOS;
+    pinning makes the serial-vs-pool bit-identity tests prove the same
+    property everywhere (workers rebuild state from pickled requests,
+    never inherit it), and avoids the fork-in-threaded-process
+    deprecation noise on Python 3.12+.
+    """
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=multiprocessing.get_context("spawn"),
+    )
+
+
 def execute_request(request: RunRequest) -> AnyResult:
     """Execute one request from scratch (no caching).
 
@@ -82,7 +105,7 @@ def execute_request(request: RunRequest) -> AnyResult:
     workload = make_workload(request.workload)
     if (
         validate_fastpath_requested()
-        and resolve_engine(request.engine or None) == ENGINE_FAST
+        and resolve_engine(request.engine or None) != ENGINE_REFERENCE
     ):
         return _execute_validated(request, workload)
     simulator = Simulator(request.config, engine=request.engine or None)
@@ -118,7 +141,7 @@ def execute_request_checkpointed(
     workload = make_workload(request.workload)
     if (
         validate_fastpath_requested()
-        and resolve_engine(request.engine or None) == ENGINE_FAST
+        and resolve_engine(request.engine or None) != ENGINE_REFERENCE
     ):
         # validation mode runs both engines; checkpoints would only
         # obscure which engine produced the state, so it stays cold.
@@ -223,9 +246,19 @@ def _execute_chain(
 
 
 def _execute_validated(request: RunRequest, workload) -> SimulationResult:
-    """Run a trace request on both engines and require identical results."""
+    """Run a trace request on every engine it implies; require identity.
+
+    A ``fast`` request is checked against the reference engine; a
+    ``soa`` request is checked against *both* other engines, since the
+    struct-of-arrays core layers on top of the fast path and either
+    layer could drift independently.
+    """
+    resolved = resolve_engine(request.engine or None)
+    engines = [ENGINE_REFERENCE, ENGINE_FAST]
+    if resolved == ENGINE_SOA:
+        engines.append(ENGINE_SOA)
     results = {}
-    for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+    for engine in engines:
         simulator = Simulator(request.config, engine=engine)
         results[engine] = simulator.run(
             workload,
@@ -234,17 +267,18 @@ def _execute_validated(request: RunRequest, workload) -> SimulationResult:
             warmup_refs=request.warmup_refs,
             interval_refs=request.interval_refs,
         )
-    differences = diff_fingerprints(
-        result_fingerprint(results[ENGINE_REFERENCE]),
-        result_fingerprint(results[ENGINE_FAST]),
-    )
-    if differences:
-        details = "\n  ".join(differences[:20])
-        raise FastPathMismatchError(
-            f"fast engine diverged from the reference engine on "
-            f"workload {request.workload!r}:\n  {details}"
+    reference = result_fingerprint(results[ENGINE_REFERENCE])
+    for engine in engines[1:]:
+        differences = diff_fingerprints(
+            reference, result_fingerprint(results[engine])
         )
-    return results[ENGINE_FAST]
+        if differences:
+            details = "\n  ".join(differences[:20])
+            raise FastPathMismatchError(
+                f"{engine} engine diverged from the reference engine on "
+                f"workload {request.workload!r}:\n  {details}"
+            )
+    return results[resolved]
 
 
 @dataclass
@@ -381,7 +415,7 @@ class Session:
         if self.checkpoint_store is not None:
             results = self._execute_checkpointed(todo, parallel)
         elif parallel:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            with _worker_pool(self.max_workers) as pool:
                 results = list(pool.map(self.executor, todo))
         else:
             results = [self.executor(request) for request in todo]
@@ -432,7 +466,7 @@ class Session:
                 and len(todo) > 1
             )
             if parallel:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                with _worker_pool(self.max_workers) as pool:
                     results = list(pool.map(execute_fleet, todo))
             else:
                 results = [execute_fleet(request) for request in todo]
@@ -476,7 +510,7 @@ class Session:
                 store_directory=store_directory,
                 checkpoint_refs=self.checkpoint_refs,
             )
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            with _worker_pool(self.max_workers) as pool:
                 chain_outputs = list(
                     pool.map(
                         runner,
@@ -521,21 +555,22 @@ class Session:
         for request in requests:
             self._memo.pop(request.cache_key, None)
 
-    def prune(self) -> dict[str, tuple[int, int]]:
+    def prune(self) -> dict[str, PruneStats]:
         """Prune stale on-disk entries (results and checkpoints).
 
-        Returns ``{"results": (removed, kept), "checkpoints": (removed,
-        kept)}``; sections without a configured store report ``(0, 0)``.
+        Returns ``{"results": PruneStats, "checkpoints": PruneStats}``;
+        sections without a configured store report all-zero stats.
         """
         # ``is not None``: both stores define __len__, so an *empty*
         # store is falsy and a bare truthiness test would skip it.
+        empty = PruneStats(0, 0, 0)
         results = (
-            self.disk_cache.prune() if self.disk_cache is not None else (0, 0)
+            self.disk_cache.prune() if self.disk_cache is not None else empty
         )
         checkpoints = (
             self.checkpoint_store.prune()
             if self.checkpoint_store is not None
-            else (0, 0)
+            else empty
         )
         return {"results": results, "checkpoints": checkpoints}
 
@@ -551,11 +586,11 @@ def default_session() -> Session:
     """
     global _DEFAULT_SESSION
     if _DEFAULT_SESSION is None:
-        jobs = os.environ.get(JOBS_ENV_VAR)
+        jobs = env_int(JOBS_ENV_VAR, None, minimum=1)
         cache_dir = os.environ.get(CACHE_DIR_ENV_VAR)
         _DEFAULT_SESSION = Session(
             cache_dir=cache_dir or None,
-            max_workers=int(jobs) if jobs else None,
+            max_workers=jobs,
         )
     return _DEFAULT_SESSION
 

@@ -339,7 +339,7 @@ def _add_fleet_parser(subparsers, common: argparse.ArgumentParser) -> None:
     fleet.add_argument(
         "--engine",
         default=None,
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "soa"),
         help="simulation engine (default: REPRO_SIM_ENGINE or fast)",
     )
 
@@ -511,15 +511,15 @@ def _run_cache(args: argparse.Namespace) -> tuple[str, int]:
         return "\n".join(lines), 0
     # cache_command == "prune"
     pruned = session.prune()
-    removed_results, kept_results = pruned["results"]
-    removed_checkpoints, kept_checkpoints = pruned["checkpoints"]
-    lines = [
-        f"cache directory: {results.directory}",
-        f"results: removed {removed_results} stale, kept {kept_results}",
-        f"checkpoints: removed {removed_checkpoints} stale, kept "
-        f"{kept_checkpoints}",
-    ]
-    return "\n".join(lines), 0
+    lines = [f"cache directory: {results.directory}"]
+    for section in ("results", "checkpoints"):
+        stats = pruned[section]
+        line = f"{section}: removed {stats.removed} stale, kept {stats.kept}"
+        if stats.failed:
+            line += f", failed to delete {stats.failed}"
+        lines.append(line)
+    status = 1 if any(stats.failed for stats in pruned.values()) else 0
+    return "\n".join(lines), status
 
 
 def _add_consolidation_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -630,12 +630,12 @@ def _add_bench_parser(subparsers) -> None:
 
     bench = subparsers.add_parser(
         "bench",
-        help="time the reference vs fast simulation engines",
+        help="time the reference, fast, and soa simulation engines",
         description=(
-            "Benchmark the fast simulation engine against the reference "
-            "engine across figure workloads and synthetic scenarios, "
-            "verifying that both produce bit-identical results.  "
-            "See docs/PERFORMANCE.md for how to read the output."
+            "Benchmark the fast and soa simulation engines against the "
+            "reference engine across figure workloads and synthetic "
+            "scenarios, verifying that all three produce bit-identical "
+            "results.  See docs/PERFORMANCE.md for how to read the output."
         ),
     )
     bench.add_argument(
@@ -697,6 +697,14 @@ def _add_bench_parser(subparsers) -> None:
         help="also write the JSON payload to PATH (the BENCH_<tag>.json "
         "trajectory format)",
     )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="earlier BENCH_<tag>.json to gate against: exit nonzero if "
+        "any shared case's best-engine speedup falls below 0.7x its "
+        "baseline value or the geomean falls below 0.9x",
+    )
 
 
 def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
@@ -704,6 +712,7 @@ def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
         DEFAULT_SCENARIOS,
         DEFAULT_WORKLOADS,
         bench_payload,
+        check_baseline,
         default_cases,
         format_bench,
         run_bench,
@@ -737,7 +746,19 @@ def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
     text = json.dumps(payload, indent=2) if args.json else format_bench(report)
-    return text, 0 if report.all_identical else 1
+    status = 0 if report.all_identical else 1
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = check_baseline(payload, baseline)
+        if regressions:
+            details = "\n".join(
+                f"regression vs {args.baseline}: {message}"
+                for message in regressions
+            )
+            text = f"{text}\n{details}" if not args.json else text
+            status = 1
+    return text, status
 
 
 def _add_scenario_parser(subparsers, common: argparse.ArgumentParser) -> None:

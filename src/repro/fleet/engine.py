@@ -43,7 +43,6 @@ from repro.fleet.transport import (
 )
 from repro.sim.config import SystemConfig
 from repro.sim.engine import (
-    ENGINE_FAST,
     ENGINE_REFERENCE,
     FastPathMismatchError,
     diff_fingerprints,
@@ -283,32 +282,33 @@ def execute_fleet(request: FleetRequest) -> FleetResult:
     :class:`~repro.sim.engine.FastPathMismatchError`.
     """
     resolved = resolve_engine(request.engine or None)
-    if validate_fastpath_requested() and resolved == ENGINE_FAST:
+    if validate_fastpath_requested() and resolved != ENGINE_REFERENCE:
         outcomes = {}
         raw_digests = {}
-        for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+        for engine in (ENGINE_REFERENCE, resolved):
             outcomes[engine], raw_digests[engine] = _simulate_fleet(
                 request.spec, request.protocol, engine
             )
         if (
             outcomes[ENGINE_REFERENCE].fingerprint
-            != outcomes[ENGINE_FAST].fingerprint
+            != outcomes[resolved].fingerprint
         ):
             differences: list[str] = []
-            for host_index, (reference, fast) in enumerate(
-                zip(raw_digests[ENGINE_REFERENCE], raw_digests[ENGINE_FAST])
+            for host_index, (reference, candidate) in enumerate(
+                zip(raw_digests[ENGINE_REFERENCE], raw_digests[resolved])
             ):
                 differences.extend(
                     diff_fingerprints(
-                        reference, fast, prefix=f"host{host_index}."
+                        reference, candidate, prefix=f"host{host_index}."
                     )
                 )
             details = "\n  ".join(differences[:20]) or "telemetry-only drift"
             raise FastPathMismatchError(
-                f"fast engine diverged from the reference engine on fleet "
-                f"{request.spec.name!r} under {request.protocol}:\n  {details}"
+                f"{resolved} engine diverged from the reference engine on "
+                f"fleet {request.spec.name!r} under {request.protocol}:"
+                f"\n  {details}"
             )
-        return outcomes[ENGINE_FAST]
+        return outcomes[resolved]
     result, _ = _simulate_fleet(request.spec, request.protocol, resolved)
     return result
 

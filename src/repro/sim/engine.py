@@ -1,6 +1,6 @@
-"""Execution engines: the reference per-reference loop and the fast path.
+"""Execution engines: the reference loop, the fast path, and the SoA core.
 
-The simulator supports two interchangeable execution engines:
+The simulator supports three interchangeable execution engines:
 
 * the **reference engine** walks every reference through the layered
   component APIs (:meth:`repro.cpu.core.CpuCore.translate`, the cache
@@ -16,9 +16,20 @@ The simulator supports two interchangeable execution engines:
   statistics as per-chunk array sums instead of per-reference attribute
   updates.  The moment any slow-path condition holds (TLB miss, data
   miss, pending defragmentation remap, a fault) the executor falls back
-  to the exact reference code path for that reference.
+  to the exact reference code path for that reference;
 
-The fast engine additionally installs flattened implementations of the
+* the **soa engine** (struct-of-arrays) goes one representation step
+  further: it mirrors the hot lookup state -- L1 TLB entries and L1
+  data tags -- into flat power-of-2 numpy tables, scans each stream's
+  upcoming references through a vectorized (optionally compiled, see
+  :mod:`repro.sim.soa_kernel`) steady-prefix kernel, and retires whole
+  multi-round windows of steady references with array sums and
+  batched LRU updates.  The first slow-path condition ends the window
+  and the engine drops to the fast engine's exact per-chunk path, so
+  every architecturally interesting reference still runs the reference
+  semantics.
+
+The fast and soa engines additionally install flattened implementations of the
 hottest component paths on the machine it runs -- the cache hierarchy
 access path and co-tag/line-indexed translation structure invalidation.
 These are pure implementation swaps: they mutate the *same* state
@@ -39,6 +50,8 @@ from __future__ import annotations
 import gc
 import os
 from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
 
 from repro.coherence.directory import DirectoryEntry, SharerKind
 from repro.cpu.chip import _CacheListener
@@ -69,17 +82,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 #: (overridable per process with ``REPRO_SIM_ENGINE``).
 ENGINE_REFERENCE = "reference"
 ENGINE_FAST = "fast"
-ENGINES = (ENGINE_REFERENCE, ENGINE_FAST)
+ENGINE_SOA = "soa"
+ENGINES = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_SOA)
 ENGINE_DEFAULT = ENGINE_FAST
 
 #: Environment variable selecting the engine for simulators that were
-#: not given one explicitly (``reference`` or ``fast``).
+#: not given one explicitly (``reference``, ``fast`` or ``soa``).
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 
-#: When truthy, :func:`repro.api.session.execute_request` runs every
-#: fast-engine trace request through *both* engines and raises
+#: When set, :func:`repro.api.session.execute_request` runs every
+#: non-reference trace request through the reference engine as well (and
+#: for ``soa`` also through ``fast``) and raises
 #: :class:`FastPathMismatchError` unless the results are bit-identical.
+#: Valid values: ``1``/``true`` (on), ``0``/``false``/unset (off);
+#: anything else is a loud error, not a silent boolean guess.
 VALIDATE_ENV_VAR = "REPRO_VALIDATE_FASTPATH"
+
+_VALIDATE_ON = ("1", "true")
+_VALIDATE_OFF = ("", "0", "false")
 
 
 #: radix-level index width, hoisted for the walker's inline prefix math.
@@ -97,19 +117,38 @@ def resolve_engine(engine: Optional[str], validate: bool = False) -> str:
     :data:`ENGINE_DEFAULT`.  Validation mode always resolves to the
     reference engine.
     """
+    source = ""
     if not engine:
         engine = os.environ.get(ENGINE_ENV_VAR) or ENGINE_DEFAULT
+        source = f" (from {ENGINE_ENV_VAR})"
     if engine not in ENGINES:
         known = ", ".join(ENGINES)
-        raise ValueError(f"unknown simulation engine {engine!r}; known: {known}")
+        raise ValueError(
+            f"unknown simulation engine {engine!r}{source}; known: {known}"
+        )
     if validate:
         return ENGINE_REFERENCE
     return engine
 
 
 def validate_fastpath_requested() -> bool:
-    """True when ``REPRO_VALIDATE_FASTPATH`` asks for run-both-and-diff."""
-    return os.environ.get(VALIDATE_ENV_VAR, "") not in ("", "0", "false")
+    """True when ``REPRO_VALIDATE_FASTPATH`` asks for run-both-and-diff.
+
+    The flag is parsed strictly: a value that is neither clearly on nor
+    clearly off (say, ``REPRO_VALIDATE_FASTPATH=ture``) raises instead
+    of silently disabling the validation the caller asked for.
+    """
+    value = os.environ.get(VALIDATE_ENV_VAR, "")
+    if value in _VALIDATE_OFF:
+        return False
+    if value in _VALIDATE_ON:
+        return True
+    on = ", ".join(_VALIDATE_ON)
+    off = ", ".join(repr(v) for v in _VALIDATE_OFF if v)
+    raise ValueError(
+        f"invalid {VALIDATE_ENV_VAR} value {value!r}; "
+        f"valid values: {on} (on) or {off} or unset (off)"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1129,10 +1168,379 @@ class FastPathExecutor:
         charge_cpu(cpu, core.hierarchy.access_cycles(spa, is_write))
 
 
+def _last_occurrence_order(values: np.ndarray) -> np.ndarray:
+    """Distinct values of ``values`` ordered by ascending last occurrence.
+
+    Replaying ``move_to_end`` once per distinct key in this order yields
+    the exact OrderedDict order that per-reference ``move_to_end`` calls
+    would have produced -- provided membership did not change, which is
+    the invariant of an all-steady window.
+    """
+    reversed_values = values[::-1]
+    distinct, first_in_reversed = np.unique(
+        reversed_values, return_index=True
+    )
+    last = values.shape[0] - 1 - first_in_reversed
+    return distinct[np.argsort(last, kind="stable")]
+
+
+class SoAExecutor(FastPathExecutor):
+    """Struct-of-arrays executor: vectorized multi-round steady windows.
+
+    The fast engine retires steady references one Python iteration at a
+    time; this engine retires them in *windows* of whole round-robin
+    rounds.  Per window it (1) rebuilds per-core direct-mapped mirror
+    tables (flat int64 arrays with power-of-2 index masks) of the L1 TLB
+    and the L1 data tags from the authoritative structures, (2) runs the
+    :mod:`repro.sim.soa_kernel` steady-prefix scan over each stream's
+    precomputed address columns, and (3) bulk-retires ``R`` full rounds
+    where ``R`` is the largest round count every active stream can cover
+    steadily.  Bulk retirement applies exactly the effects the fast
+    engine's steady path would have applied reference by reference:
+    statistic sums, LRU ``move_to_end`` replayed per distinct key in
+    last-occurrence order, dirty bits for written lines, idempotent
+    clock-policy touched bits, and per-VM attribution.  That is sound
+    because an all-steady window cannot change TLB or cache membership,
+    only recency metadata and counters.
+
+    Anything else -- a TLB or L1 miss, a partial tail chunk, a
+    defragmenting configuration, an unknown paging policy -- drops to
+    the inherited :class:`FastPathExecutor` exact path, chunk by chunk,
+    so slow references execute the reference semantics unchanged.
+    Mirror collisions only ever produce false *negatives* (a steady
+    reference classified slow), never false positives, so they cost
+    speed, not correctness.
+    """
+
+    #: Initial per-stream scan horizon in references.  Doubles each time
+    #: a scan is cut short by the horizon rather than by a slow
+    #: reference, so long steady phases converge to O(log) scans.
+    _SCAN_START = 2048
+    _SCAN_MAX = 1 << 21
+
+    def __init__(self, simulator: "Simulator", trace, contexts) -> None:
+        super().__init__(simulator, trace, contexts)
+        self._bulk = self._bulk_eligible()
+        if self._bulk:
+            self._prepare_columns()
+
+    def _bulk_eligible(self) -> bool:
+        """Whether bulk windows are sound for this simulator + trace.
+
+        Ineligible shapes are rare and still correct: the executor then
+        behaves exactly like the fast engine.
+        """
+        if self._defrag or self._policy_kind == "other":
+            # defrag interposes on_data_access on every steady
+            # reference; "other" policies have per-access callbacks.
+            return False
+        # TLB mirror tags pack (gvp << 6) | vm_code into an int64, where
+        # vm_code is a dense per-executor index over the traced VM ids.
+        vm_ids = sorted({ctx.vm_id for ctx in self.contexts})
+        if len(vm_ids) >= 64:  # pragma: no cover - fleets are far smaller
+            return False
+        self._vm_code = {vm_id: code for code, vm_id in enumerate(vm_ids)}
+        self._vm_of_code = vm_ids
+        for stream in self.trace.streams:
+            if stream.shape[0] and int(stream.max()) >= 1 << 55:
+                return False  # pragma: no cover - addresses are < 2^55
+        return True
+
+    def _prepare_columns(self) -> None:
+        """Precompute per-stream SoA address columns and mirror shapes."""
+        chip = self.simulator.chip
+        core0 = chip.cores[0]
+        tlb_capacity = max(
+            core.tlb_l1.capacity for core in chip.cores
+        )
+        l1_lines = max(
+            core.l1.num_sets * core.l1.associativity for core in chip.cores
+        )
+        # 4x the structure capacity keeps direct-mapped collisions (and
+        # therefore spurious exact-path rounds) rare.
+        self._tmask = (1 << max(4 * tlb_capacity - 1, 1).bit_length()) - 1
+        self._lmask = (1 << max(2 * l1_lines - 1, 1).bit_length()) - 1
+        self._warm_cost = (
+            self.simulator.config.costs.l1_tlb_latency + core0.l1.latency
+        )
+        line_mask = ~(CACHE_LINE_SIZE - 1)
+        self._col_tag: list[np.ndarray] = []
+        self._col_tidx: list[np.ndarray] = []
+        self._col_loff: list[np.ndarray] = []
+        self._col_write: list[np.ndarray] = []
+        for vcpu, stream in enumerate(self.trace.streams):
+            gva = np.ascontiguousarray(stream, dtype=np.int64)
+            gvp = gva >> PAGE_SHIFT
+            vm_code = self._vm_code[self.contexts[vcpu].vm_id]
+            self._col_tag.append(np.ascontiguousarray((gvp << 6) | vm_code))
+            self._col_tidx.append(np.ascontiguousarray(gvp & self._tmask))
+            self._col_loff.append(
+                np.ascontiguousarray((gva & (PAGE_SIZE - 1)) & line_mask)
+            )
+            self._col_write.append(
+                np.ascontiguousarray(self.trace.writes[vcpu], dtype=bool)
+            )
+        from repro.sim.soa_kernel import get_kernel
+
+        self.kernel_name, self._scan = get_kernel()
+
+    # ------------------------------------------------------------------
+    # the windowed span loop
+    # ------------------------------------------------------------------
+    def execute_span(self, starts, ends, on_round=None) -> int:
+        """Execute streams between ``starts`` and ``ends`` in windows.
+
+        Bit-identical to both other engines: bulk windows cover only
+        references whose effects commute into sums and last-occurrence
+        LRU replays, and ``on_round`` still fires after every full
+        round-robin round (windows are retired round by round whenever a
+        hook is attached, so observation points are unchanged).
+        """
+        if not self._bulk:
+            return super().execute_span(starts, ends, on_round)
+        from repro.sim.simulator import _INTERLEAVE_CHUNK
+
+        num_vcpus = self.trace.num_vcpus
+        positions = list(starts)
+        executed = 0
+        horizon = self._SCAN_START
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            zero_streak = 0
+            while True:
+                active = [
+                    s for s in range(num_vcpus) if positions[s] < ends[s]
+                ]
+                if not active:
+                    break
+                rounds, limited, window = self._scan_window(
+                    positions, ends, active, horizon
+                )
+                if rounds == 0:
+                    # Slow content (or a sub-chunk tail) ahead on some
+                    # stream: run exact interleaved rounds.  The batch
+                    # grows with consecutive slow scans so scan overhead
+                    # amortizes across slow-path-heavy phases.
+                    for _ in range(1 << min(zero_streak, 6)):
+                        advanced = self._exact_round(
+                            positions, ends, executed, on_round
+                        )
+                        if advanced == executed:
+                            break
+                        executed = advanced
+                    zero_streak += 1
+                    horizon = self._SCAN_START
+                    continue
+                zero_streak = 0
+                if on_round is None:
+                    executed += self._retire_rounds(
+                        active, positions, window, 0, rounds,
+                        _INTERLEAVE_CHUNK,
+                    )
+                else:
+                    for r in range(rounds):
+                        executed += self._retire_rounds(
+                            active, positions, window, r, r + 1,
+                            _INTERLEAVE_CHUNK,
+                        )
+                        on_round(executed)
+                if limited:
+                    horizon = min(horizon * 2, self._SCAN_MAX)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return executed
+
+    def _exact_round(self, positions, ends, executed, on_round) -> int:
+        """One full round-robin round on the inherited exact chunk path."""
+        from repro.sim.simulator import _INTERLEAVE_CHUNK
+
+        advanced = False
+        for vcpu in range(self.trace.num_vcpus):
+            pos = positions[vcpu]
+            end = min(pos + _INTERLEAVE_CHUNK, ends[vcpu])
+            if pos >= end:
+                continue
+            advanced = True
+            executed += self._run_chunk(vcpu, pos, end)
+            positions[vcpu] = end
+        if advanced and on_round is not None:
+            on_round(executed)
+        return executed
+
+    def _build_mirrors(self, cpus):
+        """Direct-mapped numpy mirrors of each core's L1 TLB and L1 tags.
+
+        Mirrors hold full tags, so a probe hit proves the key is present
+        in the authoritative structure; a slot lost to a collision is
+        merely invisible (false negative).  The arrays are rebuilt per
+        scan -- cheap, since the structures hold at most a few hundred
+        entries -- which frees the executor from hooking every
+        invalidation path in the machine.
+        """
+        mirrors = {}
+        chip = self.simulator.chip
+        tmask = self._tmask
+        lmask = self._lmask
+        for cpu in cpus:
+            core = chip.cores[cpu]
+            tlb_tag = np.full(tmask + 1, -1, dtype=np.int64)
+            tlb_spp = np.zeros(tmask + 1, dtype=np.int64)
+            vm_code_of = self._vm_code.get
+            for (vm_id, gvp), entry in core.tlb_l1._entries.items():
+                vm_code = vm_code_of(vm_id)
+                if vm_code is None:
+                    # An untraced VM's entry can never match a scanned
+                    # tag; leaving it out only costs a false negative.
+                    continue
+                slot = gvp & tmask
+                tlb_tag[slot] = (gvp << 6) | vm_code
+                tlb_spp[slot] = entry.value
+            l1_tag = np.full(lmask + 1, -1, dtype=np.int64)
+            for line_set in core.l1._sets:
+                for line in line_set:
+                    l1_tag[(line >> 6) & lmask] = line
+            mirrors[cpu] = (tlb_tag, tlb_spp, l1_tag)
+        return mirrors
+
+    def _scan_window(self, positions, ends, active, horizon):
+        """Find how many whole rounds every active stream covers steadily.
+
+        Returns ``(rounds, horizon_limited, window)`` where ``window``
+        maps each scanned stream to its ``(tag, spp, line, write)``
+        column views for the scanned region.
+        """
+        from repro.sim.simulator import _INTERLEAVE_CHUNK
+
+        mirrors = self._build_mirrors({self._pcpus[s] for s in active})
+        scan = self._scan
+        lmask = self._lmask
+        rounds = None
+        limited = False
+        window = {}
+        for s in active:
+            pos = positions[s]
+            avail = ends[s] - pos
+            look = min(avail, horizon)
+            tlb_tag, tlb_spp, l1_tag = mirrors[self._pcpus[s]]
+            tag = self._col_tag[s][pos:pos + look]
+            tidx = self._col_tidx[s][pos:pos + look]
+            loff = self._col_loff[s][pos:pos + look]
+            spp_out = np.empty(look, dtype=np.int64)
+            line_out = np.empty(look, dtype=np.int64)
+            prefix = scan(
+                tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+                spp_out, line_out,
+            )
+            if prefix == look and look < avail:
+                limited = True
+            stream_rounds = prefix // _INTERLEAVE_CHUNK
+            if rounds is None or stream_rounds < rounds:
+                rounds = stream_rounds
+            if rounds == 0:
+                return 0, limited, {}
+            window[s] = (tag, spp_out, line_out,
+                         self._col_write[s][pos:pos + look])
+        return rounds, limited, window
+
+    def _retire_rounds(
+        self, active, positions, window, first_round, last_round, chunk
+    ) -> int:
+        """Bulk-retire rounds ``[first_round, last_round)`` of a window."""
+        sim = self.simulator
+        stats = sim.stats
+        chip = sim.chip
+        num_rounds = last_round - first_round
+        per_stream = num_rounds * chunk
+        lo = first_round * chunk
+        hi = last_round * chunk
+        warm_cost = self._warm_cost
+        vm_of_stream = self._vm_of_stream
+
+        by_core: dict[int, list[int]] = {}
+        for s in active:
+            by_core.setdefault(self._pcpus[s], []).append(s)
+
+        executed = 0
+        for cpu, streams in by_core.items():
+            core = chip.cores[cpu]
+            total = per_stream * len(streams)
+            cpu_stats = stats.cpus[cpu]
+            cpu_stats.instructions += total
+            cpu_stats.busy_cycles += total * warm_cost
+            tlb1 = core.tlb_l1
+            tlb1_stats = tlb1.stats
+            tlb1_stats.lookups += total
+            tlb1_stats.hits += total
+            l1 = core.l1
+            l1_stats = l1.stats
+            l1_stats.accesses += total
+            l1_stats.hits += total
+            if vm_of_stream is not None:
+                for s in streams:
+                    vm_stats = stats.vms[vm_of_stream[s]]
+                    vm_stats.instructions += per_stream
+                    vm_stats.busy_cycles += per_stream * warm_cost
+                # the round's last chunk on this core hands it the pCPU
+                stats.vm_of_cpu[cpu] = vm_of_stream[streams[-1]]
+            # Interleave the streams' chunks exactly as the round-robin
+            # loop would have: (round, stream-in-vcpu-order, chunk).
+            if len(streams) == 1:
+                tag_merged = window[streams[0]][0][lo:hi]
+                line_merged = window[streams[0]][2][lo:hi]
+                write_merged = window[streams[0]][3][lo:hi]
+            else:
+                tag_merged = np.stack(
+                    [window[s][0][lo:hi].reshape(num_rounds, chunk)
+                     for s in streams],
+                    axis=1,
+                ).reshape(-1)
+                line_merged = np.stack(
+                    [window[s][2][lo:hi].reshape(num_rounds, chunk)
+                     for s in streams],
+                    axis=1,
+                ).reshape(-1)
+                write_merged = np.stack(
+                    [window[s][3][lo:hi].reshape(num_rounds, chunk)
+                     for s in streams],
+                    axis=1,
+                ).reshape(-1)
+            tlb1_move = tlb1._entries.move_to_end
+            vm_of_code = self._vm_of_code
+            for packed in _last_occurrence_order(tag_merged).tolist():
+                tlb1_move((vm_of_code[packed & 63], packed >> 6))
+            l1_sets = l1._sets
+            num_sets = l1.num_sets
+            for line in _last_occurrence_order(line_merged).tolist():
+                l1_sets[(line >> 6) % num_sets].move_to_end(line)
+            if write_merged.any():
+                for line in np.unique(line_merged[write_merged]).tolist():
+                    l1_sets[(line >> 6) % num_sets][line].dirty = True
+            executed += total
+
+        if self._paged and self._policy_kind == "clock":
+            # Touched bits are idempotent, so distinct pages suffice.
+            resident_get = sim.hypervisor._resident_by_spp.get
+            clock_pages = sim.hypervisor.policy._pages
+            for s in active:
+                for spp in np.unique(window[s][1][lo:hi]).tolist():
+                    resident_key = resident_get(spp)
+                    if resident_key is not None and resident_key in clock_pages:
+                        clock_pages[resident_key] = True
+
+        for s in active:
+            positions[s] += per_stream
+        return executed
+
+
 def make_executor(simulator: "Simulator", trace, contexts):
     """Build the executor matching the simulator's resolved engine."""
     if simulator.engine == ENGINE_FAST:
         return FastPathExecutor(simulator, trace, contexts)
+    if simulator.engine == ENGINE_SOA:
+        return SoAExecutor(simulator, trace, contexts)
     return ReferenceExecutor(simulator, trace, contexts)
 
 

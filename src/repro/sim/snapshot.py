@@ -11,7 +11,7 @@ and engines, is:
 
     *restore-then-continue is bit-identical to a straight-through run*
     -- same result fingerprint, same post-run machine digest -- on both
-    the reference and the fast engine (and across them, since the
+    the reference, fast and SoA engines (and across them, since the
     engines are themselves bit-identical).
 
 Snapshots are captured only at **round-aligned** executor positions

@@ -1,0 +1,282 @@
+"""Steady-prefix scan kernels for the struct-of-arrays (SoA) engine.
+
+The SoA executor (:class:`repro.sim.engine.SoAExecutor`) spends almost
+all of its time answering one question per stream: *how many upcoming
+references are fully steady-state* (L1 TLB hit and L1 data hit) against
+direct-mapped mirror tables rebuilt from the authoritative structures.
+That scan is a tight integer loop over flat int64 arrays, so it is the
+one place a compiled kernel pays off.  This module provides three
+interchangeable backends computing bit-identical integers:
+
+``numba``
+    An ``@njit``-compiled version of the scan loop, used when numba is
+    importable.  numba is an *optional* dependency: nothing in this
+    repository requires it, and CI runs one leg with it and one without.
+
+``c``
+    A tiny C translation of the same loop, compiled on first use with
+    whatever ``cc``/``gcc``/``clang`` the host provides into a private
+    temporary directory and loaded through :mod:`ctypes`.  No build
+    system, no install step, no artifacts inside the repository.
+
+``python``
+    A block-vectorized numpy implementation.  Always available; the
+    fallback when neither compiler route works.
+
+Backend selection is ``REPRO_SOA_KERNEL``: ``auto`` (default) tries
+``numba``, then ``c``, then ``python``; naming a backend explicitly
+makes its absence a hard error instead of a silent fallback.  A typo'd
+value fails loudly with the list of valid names.  Because every backend
+computes the same integers from the same inputs, kernel choice can never
+affect simulation results -- only how fast the scan runs; the digest
+matrix in ``tests/test_fastpath.py`` pins that by re-running the matrix
+under each available backend.
+
+The scan contract (shared verbatim by all three backends)::
+
+    scan(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+         spp_out, line_out) -> p
+
+    for each i < n (= len(tag)):
+        j = tidx[i]
+        steady  = tlb_tag[j] == tag[i]
+        spp     = tlb_spp[j]
+        line    = (spp << PAGE_SHIFT) | loff[i]
+        steady &= l1_tag[(line >> LINE_SHIFT) & lmask] == line
+        if not steady: return i          # first slow reference
+        spp_out[i] = spp; line_out[i] = line
+    return n
+
+All arrays are contiguous int64; ``loff`` is the page offset already
+aligned down to a cache-line boundary, so ``line`` is the referenced
+line address.  Entries of ``spp_out``/``line_out`` at or beyond the
+returned prefix length are unspecified.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.translation.address import CACHE_LINE_SIZE, PAGE_SHIFT
+
+#: log2 of the cache line size, the shift from line address to mirror slot.
+LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
+
+#: Environment variable selecting the scan backend.
+KERNEL_ENV_VAR = "REPRO_SOA_KERNEL"
+
+KERNEL_AUTO = "auto"
+KERNEL_NUMBA = "numba"
+KERNEL_C = "c"
+KERNEL_PYTHON = "python"
+KERNELS = (KERNEL_AUTO, KERNEL_NUMBA, KERNEL_C, KERNEL_PYTHON)
+
+#: Block size for the numpy backend: big enough to amortize dispatch,
+#: small enough that a scan aborted by an early slow reference does not
+#: compute far past it.
+_NUMPY_BLOCK = 4096
+
+ScanFn = Callable[..., int]
+
+#: resolved (name, fn) per requested backend, so compiler probes and JIT
+#: warmup run once per process.
+_RESOLVED: dict[str, tuple[str, ScanFn]] = {}
+
+
+def resolve_kernel_request(name: Optional[str] = None) -> str:
+    """Validate a backend request (argument, else environment, else auto).
+
+    Unknown names fail loudly with the list of valid values -- a typo'd
+    ``REPRO_SOA_KERNEL`` must never silently mean ``auto``.
+    """
+    if name is None:
+        name = os.environ.get(KERNEL_ENV_VAR) or KERNEL_AUTO
+    if name not in KERNELS:
+        known = ", ".join(KERNELS)
+        raise ValueError(
+            f"unknown SoA kernel {name!r} (from {KERNEL_ENV_VAR}); "
+            f"valid values: {known}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# python (numpy) backend
+# ----------------------------------------------------------------------
+def _scan_numpy(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+                spp_out, line_out) -> int:
+    n = tag.shape[0]
+    for start in range(0, n, _NUMPY_BLOCK):
+        stop = min(start + _NUMPY_BLOCK, n)
+        block = slice(start, stop)
+        j = tidx[block]
+        spp = tlb_spp[j]
+        line = (spp << PAGE_SHIFT) | loff[block]
+        steady = (tlb_tag[j] == tag[block]) & (
+            l1_tag[(line >> LINE_SHIFT) & lmask] == line
+        )
+        spp_out[block] = spp
+        line_out[block] = line
+        if not steady.all():
+            return start + int(np.argmin(steady))
+    return n
+
+
+# ----------------------------------------------------------------------
+# numba backend (optional dependency)
+# ----------------------------------------------------------------------
+def _build_numba() -> ScanFn:
+    import numba  # noqa: F401 - raises ImportError when absent
+
+    @numba.njit(cache=False, nogil=True)
+    def _scan_jit(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+                  spp_out, line_out):
+        n = tag.shape[0]
+        for i in range(n):
+            j = tidx[i]
+            if tlb_tag[j] != tag[i]:
+                return i
+            spp = tlb_spp[j]
+            line = (spp << PAGE_SHIFT) | loff[i]
+            if l1_tag[(line >> LINE_SHIFT) & lmask] != line:
+                return i
+            spp_out[i] = spp
+            line_out[i] = line
+        return n
+
+    # Force compilation now so a broken numba install fails at selection
+    # time (where auto can still fall back), not mid-simulation.
+    one = np.zeros(1, dtype=np.int64)
+    _scan_jit(one, one, one, one[:0], one[:0], one[:0], 0, one[:0], one[:0])
+
+    def scan(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+             spp_out, line_out) -> int:
+        return int(
+            _scan_jit(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+                      spp_out, line_out)
+        )
+
+    return scan
+
+
+# ----------------------------------------------------------------------
+# C backend (ctypes, compiled on first use)
+# ----------------------------------------------------------------------
+_C_SOURCE = f"""
+#include <stdint.h>
+
+int64_t repro_soa_scan(const int64_t *tlb_tag, const int64_t *tlb_spp,
+                       const int64_t *l1_tag, const int64_t *tag,
+                       const int64_t *tidx, const int64_t *loff,
+                       int64_t n, int64_t lmask,
+                       int64_t *spp_out, int64_t *line_out)
+{{
+    for (int64_t i = 0; i < n; i++) {{
+        int64_t j = tidx[i];
+        if (tlb_tag[j] != tag[i])
+            return i;
+        int64_t spp = tlb_spp[j];
+        int64_t line = (spp << {PAGE_SHIFT}) | loff[i];
+        if (l1_tag[(line >> {LINE_SHIFT}) & lmask] != line)
+            return i;
+        spp_out[i] = spp;
+        line_out[i] = line;
+    }}
+    return n;
+}}
+"""
+
+
+def _build_c() -> ScanFn:
+    compiler = next(
+        (cc for cc in ("cc", "gcc", "clang") if shutil.which(cc)), None
+    )
+    if compiler is None:
+        raise RuntimeError(
+            "no C compiler found (tried cc, gcc, clang); "
+            "use REPRO_SOA_KERNEL=python or install one"
+        )
+    # Build outside the repository: the shared object is a per-process
+    # throwaway, never a committed artifact.
+    build_dir = tempfile.mkdtemp(prefix="repro-soa-kernel-")
+    src = os.path.join(build_dir, "scan.c")
+    lib_path = os.path.join(build_dir, "scan.so")
+    with open(src, "w", encoding="utf-8") as handle:
+        handle.write(_C_SOURCE)
+    proc = subprocess.run(
+        [compiler, "-O2", "-shared", "-fPIC", "-o", lib_path, src],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"SoA scan kernel compilation failed with {compiler}: "
+            f"{proc.stderr.strip()}"
+        )
+    lib = ctypes.CDLL(lib_path)
+    fn = lib.repro_soa_scan
+    ptr = ctypes.POINTER(ctypes.c_int64)
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr,
+                   ctypes.c_int64, ctypes.c_int64, ptr, ptr]
+
+    def scan(tlb_tag, tlb_spp, l1_tag, tag, tidx, loff, lmask,
+             spp_out, line_out) -> int:
+        view = ctypes.cast
+        return int(fn(
+            view(tlb_tag.ctypes.data, ptr),
+            view(tlb_spp.ctypes.data, ptr),
+            view(l1_tag.ctypes.data, ptr),
+            view(tag.ctypes.data, ptr),
+            view(tidx.ctypes.data, ptr),
+            view(loff.ctypes.data, ptr),
+            tag.shape[0],
+            lmask,
+            view(spp_out.ctypes.data, ptr),
+            view(line_out.ctypes.data, ptr),
+        ))
+
+    return scan
+
+
+_BUILDERS: dict[str, Callable[[], ScanFn]] = {
+    KERNEL_NUMBA: _build_numba,
+    KERNEL_C: _build_c,
+    KERNEL_PYTHON: lambda: _scan_numpy,
+}
+
+
+def get_kernel(name: Optional[str] = None) -> tuple[str, ScanFn]:
+    """Resolve and build the scan backend; returns ``(name, scan_fn)``.
+
+    ``auto`` degrades gracefully (numba -> c -> python); an explicitly
+    requested backend that cannot be built raises, because a user who
+    pinned a kernel wants to know it is not the one running.
+    """
+    requested = resolve_kernel_request(name)
+    cached = _RESOLVED.get(requested)
+    if cached is not None:
+        return cached
+    if requested == KERNEL_AUTO:
+        last_error: Optional[Exception] = None
+        for candidate in (KERNEL_NUMBA, KERNEL_C, KERNEL_PYTHON):
+            try:
+                resolved = (candidate, _BUILDERS[candidate]())
+                break
+            except Exception as error:  # ImportError / RuntimeError
+                last_error = error
+        else:  # pragma: no cover - the numpy backend cannot fail to build
+            raise RuntimeError(
+                f"no SoA scan backend could be built: {last_error}"
+            )
+    else:
+        resolved = (requested, _BUILDERS[requested]())
+    _RESOLVED[requested] = resolved
+    return resolved

@@ -97,9 +97,14 @@ def nearest_rank_percentile(values: Sequence[float], pct: float) -> float:
     at least ``pct`` percent of the samples are <= it.
     """
     if not values:
-        raise ValueError("cannot take a percentile of no samples")
+        raise ValueError(
+            f"cannot take the {pct} percentile of an empty sequence"
+        )
     if not 0.0 < pct <= 100.0:
-        raise ValueError("pct must be in (0, 100]")
+        raise ValueError(
+            f"pct must be in (0, 100], got {pct} (nearest-rank has no "
+            f"0th percentile; use min() for the smallest sample)"
+        )
     ordered = sorted(values)
     rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
     return ordered[int(rank) - 1]

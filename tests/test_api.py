@@ -374,3 +374,96 @@ class TestWorkloadNaming:
         expected = make_spec_mix(0, apps_per_mix=4).app_names
         assert sorted(result.per_app_cycles) == sorted(expected)
         assert not any(name.startswith("app0") for name in result.per_app_cycles)
+
+
+class TestCacheMissNarrowing:
+    """Load paths swallow only decode/schema problems, never code bugs."""
+
+    def _seed(self, tmp_path):
+        import json
+
+        request = tiny_request()
+        Session(cache_dir=tmp_path).run(request)
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(request.cache_key)
+        return request, cache, path, json.loads(path.read_text())
+
+    def test_future_schema_entry_is_counted_stale_not_deleted_data(
+        self, tmp_path, caplog
+    ):
+        import json
+        import logging
+
+        from repro.api.cache import StaleSchemaError
+        from repro.api.request import CACHE_SCHEMA_VERSION
+
+        request, cache, path, data = self._seed(tmp_path)
+        # a well-formed entry written by a *newer* release: extra keys,
+        # higher schema stamp
+        data["schema"] = CACHE_SCHEMA_VERSION + 1
+        data["from_the_future"] = {"unknown": "layout"}
+        path.write_text(json.dumps(data))
+        with pytest.raises(StaleSchemaError):
+            decode_result(data)
+        with caplog.at_level(logging.WARNING, logger="repro.api.cache"):
+            assert cache.get(request.cache_key) is None
+        assert cache.stale_schema_misses == 1
+        assert cache.decode_error_misses == 0
+        assert any("stale schema" in record.message for record in caplog.records)
+
+    def test_current_schema_decode_bug_propagates(self, tmp_path):
+        import json
+
+        request, cache, path, data = self._seed(tmp_path)
+        # current schema stamp but a gutted body: this can only mean an
+        # encoder/decoder bug (atomic writes rule out torn files), so it
+        # must raise, not masquerade as a miss and get pruned away
+        del data["stats"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(KeyError):
+            cache.get(request.cache_key)
+
+    def test_corrupt_entry_counted_separately(self, tmp_path):
+        request, cache, path, _ = self._seed(tmp_path)
+        path.write_text("{torn")
+        assert cache.get(request.cache_key) is None
+        assert cache.decode_error_misses == 1
+        assert cache.stale_schema_misses == 0
+
+
+class TestPruneFailureAccounting:
+    def test_unlink_failure_reported_as_failed_not_pruned(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        request = tiny_request()
+        Session(cache_dir=tmp_path).run(request)
+        cache = ResultCache(tmp_path)
+        (tmp_path / "stale.json").write_text(
+            '{"type": "simulation", "schema": -1}'
+        )
+        monkeypatch.setattr(
+            Path,
+            "unlink",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("EPERM")),
+        )
+        stats = cache.prune()
+        assert stats.removed == 0
+        assert stats.failed == 1
+        assert stats.kept == 1  # the healthy entry, and only it
+
+    def test_checkpoint_store_counts_stale_schema(self, tmp_path):
+        import json
+
+        from repro.api.checkpoint import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        bad = tmp_path / f"{'ab' * 32}-{1000:012d}.json"
+        tmp_path.mkdir(exist_ok=True)
+        bad.write_text(json.dumps({"cache_schema": -1, "executed_refs": 1000}))
+        assert store.load(bad) is None
+        assert store.stale_schema_misses == 1
+        (tmp_path / "torn.json").write_text("{")
+        assert store.load(tmp_path / "torn.json") is None
+        assert store.decode_error_misses == 1

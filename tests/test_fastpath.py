@@ -1,13 +1,15 @@
-"""Fast-engine equivalence: bit-identical results across configurations.
+"""Engine equivalence: bit-identical results across configurations.
 
-The fast engine (:mod:`repro.sim.engine`) must produce **bit-identical**
-``MachineStats``, energy and machine state for every configuration the
-reference engine supports -- that property is what lets it be the
-default without a ``CACHE_SCHEMA_VERSION`` bump.  These tests force both
-engines over the differential scenario matrix, every protocol, and the
-directory/paging/placement/hypervisor variants whose code paths the
-fast engine specializes, comparing full machine digests (every counter,
-every resident cache line, TLB entry and directory entry).
+The fast and SoA engines (:mod:`repro.sim.engine`) must produce
+**bit-identical** ``MachineStats``, energy and machine state for every
+configuration the reference engine supports -- that property is what
+lets either be selected without a ``CACHE_SCHEMA_VERSION`` bump.  These
+tests force all three engines over the differential scenario matrix,
+every protocol, and the directory/paging/placement/hypervisor variants
+whose code paths the optimized engines specialize, comparing full
+machine digests (every counter, every resident cache line, TLB entry
+and directory entry).  The SoA engine's scan-kernel backends (numba, C,
+numpy) are additionally pinned against each other.
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ from repro.sim.config import (
 from repro.sim.engine import (
     ENGINE_FAST,
     ENGINE_REFERENCE,
+    ENGINE_SOA,
+    ENGINES,
     FastPathMismatchError,
     diff_fingerprints,
     machine_digest,
@@ -42,17 +46,22 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
 def assert_engines_identical(config: SystemConfig, workload_name: str, **run_kwargs):
-    """Run both engines and require identical results and machine state."""
+    """Run all engines and require identical results and machine state."""
     outcomes = {}
-    for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+    for engine in ENGINES:
         simulator = Simulator(config, engine=engine)
         result = simulator.run(make_workload(workload_name), **run_kwargs)
         outcomes[engine] = (simulator, result)
     ref_sim, ref_result = outcomes[ENGINE_REFERENCE]
-    fast_sim, fast_result = outcomes[ENGINE_FAST]
-    differences = diff_fingerprints(
-        result_fingerprint(ref_result), result_fingerprint(fast_result)
-    ) + diff_fingerprints(machine_digest(ref_sim), machine_digest(fast_sim))
+    differences = []
+    for engine in ENGINES[1:]:
+        sim, result = outcomes[engine]
+        differences += [
+            f"{engine}: {line}"
+            for line in diff_fingerprints(
+                result_fingerprint(ref_result), result_fingerprint(result)
+            ) + diff_fingerprints(machine_digest(ref_sim), machine_digest(sim))
+        ]
     assert differences == [], "\n".join(differences[:30])
     return ref_result
 
@@ -189,12 +198,14 @@ def test_validation_mode_forces_reference_engine():
 
 
 def test_engine_env_override(monkeypatch):
-    monkeypatch.setenv("REPRO_SIM_ENGINE", ENGINE_REFERENCE)
-    assert resolve_engine(None) == ENGINE_REFERENCE
-    monkeypatch.setenv("REPRO_SIM_ENGINE", ENGINE_FAST)
-    assert resolve_engine(None) == ENGINE_FAST
-    with pytest.raises(ValueError):
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+        assert resolve_engine(None) == engine
+    with pytest.raises(ValueError, match="known: reference, fast, soa"):
         resolve_engine("warp")
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "fsat")
+    with pytest.raises(ValueError, match="REPRO_SIM_ENGINE"):
+        resolve_engine(None)
 
 
 # ----------------------------------------------------------------------
@@ -227,11 +238,20 @@ def test_request_engine_field_keeps_default_cache_key():
     default = RunRequest(config=config, workload="canneal")
     explicit_fast = RunRequest(config=config, workload="canneal", engine="fast")
     reference = RunRequest(config=config, workload="canneal", engine="reference")
+    soa = RunRequest(config=config, workload="canneal", engine="soa")
     # the default-engine payload has no engine key at all, so keys are
     # exactly what they were before engine selection existed
     assert "engine" not in default.to_dict()
     assert default.cache_key != explicit_fast.cache_key
     assert explicit_fast.cache_key != reference.cache_key
+    assert len({default.cache_key, reference.cache_key,
+                explicit_fast.cache_key, soa.cache_key}) == 4
+    assert RunRequest.from_dict(soa.to_dict()).engine == "soa"
+    # adding the soa engine did not bump the cache schema: selecting it
+    # changes nothing about what any existing key resolves to
+    from repro.api.request import CACHE_SCHEMA_VERSION
+
+    assert CACHE_SCHEMA_VERSION == 2
     # round trip preserves the engine
     assert RunRequest.from_dict(explicit_fast.to_dict()).engine == "fast"
     assert RunRequest.from_dict(default.to_dict()).engine == ""
@@ -247,9 +267,10 @@ def test_request_engines_give_identical_results():
         session.run(
             RunRequest(config=config, workload=spec.name, engine=engine)
         )
-        for engine in ("reference", "fast")
+        for engine in ENGINES
     ]
-    assert result_fingerprint(results[0]) == result_fingerprint(results[1])
+    for other in results[1:]:
+        assert result_fingerprint(results[0]) == result_fingerprint(other)
 
 
 def test_validate_fastpath_mode_runs_and_passes(monkeypatch):
@@ -277,3 +298,100 @@ def test_validate_fastpath_mode_detects_divergence(monkeypatch):
     spec = matrix_spec(3)
     with pytest.raises(FastPathMismatchError):
         execute_request(RunRequest(config=_base_config(), workload=spec.name))
+
+
+def test_validate_fastpath_mode_detects_soa_divergence(monkeypatch):
+    """Drift injected into the SoA engine alone is caught and attributed."""
+    monkeypatch.setenv("REPRO_VALIDATE_FASTPATH", "1")
+    from repro.sim import engine as engine_module
+
+    original = engine_module.SoAExecutor.execute_span
+
+    def skewed(self, starts, ends, on_round=None):
+        count = original(self, starts, ends, on_round)
+        self.simulator.stats.cpus[0].busy_cycles += 1  # inject drift
+        return count
+
+    monkeypatch.setattr(engine_module.SoAExecutor, "execute_span", skewed)
+    spec = matrix_spec(3)
+    with pytest.raises(FastPathMismatchError, match="soa engine diverged"):
+        execute_request(
+            RunRequest(config=_base_config(), workload=spec.name, engine="soa")
+        )
+
+
+# ----------------------------------------------------------------------
+# SoA specifics: bulk-window engagement and scan-kernel backends
+# ----------------------------------------------------------------------
+#: A scenario whose working set is genuinely TLB/L1-resident, so the
+#: SoA engine's vectorized steady windows actually engage (the default
+#: bench scenarios thrash by design and exercise the exact-path
+#: fallback instead).
+RESIDENT_STEADY = "syn:steady/seed=7/fp=6/hot=1.0/cold=0.0/reuse=16"
+
+
+def test_soa_bulk_windows_engage_and_stay_identical(monkeypatch):
+    """The vectorized window path really runs (not just the fallback)."""
+    from repro.sim import engine as engine_module
+
+    calls = {"windows": 0, "rounds": 0}
+    original = engine_module.SoAExecutor._scan_window
+
+    def counted(self, positions, ends, active, horizon):
+        rounds, limited, window = original(
+            self, positions, ends, active, horizon
+        )
+        calls["windows"] += 1
+        calls["rounds"] += rounds
+        return rounds, limited, window
+
+    monkeypatch.setattr(engine_module.SoAExecutor, "_scan_window", counted)
+    config = SystemConfig(num_cpus=4, protocol="hatric")
+    assert_engines_identical(config, RESIDENT_STEADY, refs_total=24000)
+    assert calls["windows"] > 0
+    assert calls["rounds"] > 0
+
+
+def _soa_digest(kernel: str, monkeypatch) -> dict:
+    monkeypatch.setenv("REPRO_SOA_KERNEL", kernel)
+    config = SystemConfig(num_cpus=4, protocol="hatric")
+    simulator = Simulator(config, engine=ENGINE_SOA)
+    result = simulator.run(make_workload(RESIDENT_STEADY), refs_total=16000)
+    return {
+        "digest": machine_digest(simulator),
+        "fingerprint": result_fingerprint(result),
+    }
+
+
+def test_soa_kernel_backends_bit_identical(monkeypatch):
+    """Every buildable scan backend produces the same digests."""
+    from repro.sim import soa_kernel
+
+    outcomes = {"python": _soa_digest("python", monkeypatch)}
+    try:
+        soa_kernel.get_kernel("c")
+    except RuntimeError:
+        pass  # no compiler on this host; the python leg still ran
+    else:
+        outcomes["c"] = _soa_digest("c", monkeypatch)
+    try:
+        soa_kernel.get_kernel("numba")
+    except ImportError:
+        pass  # optional dependency absent
+    else:
+        outcomes["numba"] = _soa_digest("numba", monkeypatch)
+    baseline = outcomes.pop("python")
+    for name, outcome in outcomes.items():
+        assert outcome == baseline, f"kernel {name} diverged from python"
+
+
+def test_soa_kernel_request_validation(monkeypatch):
+    from repro.sim.soa_kernel import resolve_kernel_request
+
+    monkeypatch.delenv("REPRO_SOA_KERNEL", raising=False)
+    assert resolve_kernel_request() == "auto"
+    monkeypatch.setenv("REPRO_SOA_KERNEL", "python")
+    assert resolve_kernel_request() == "python"
+    monkeypatch.setenv("REPRO_SOA_KERNEL", "pyton")
+    with pytest.raises(ValueError, match="valid values: auto, numba, c, python"):
+        resolve_kernel_request()

@@ -32,6 +32,7 @@ from repro.sim.engine import (
     machine_digest,
     result_fingerprint,
 )
+from repro.env import env_int
 from repro.sim.simulator import Simulator
 from repro.workloads import make_workload
 from repro.workloads.synthetic import (
@@ -44,7 +45,7 @@ from tests.conftest import small_config
 #: Examples per fuzz property.  Each example simulates its shape on two
 #: engines under three protocols, so the default budget stays CI-sized;
 #: REPRO_FUZZ_EXAMPLES raises it for longer local hunts.
-FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "5"))
+FUZZ_EXAMPLES = env_int("REPRO_FUZZ_EXAMPLES", 5, minimum=1)
 
 PROTOCOLS = ("software", "hatric", "ideal")
 

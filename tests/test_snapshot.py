@@ -37,6 +37,7 @@ from repro.sim.config import MemoryConfig, PagingConfig, SystemConfig
 from repro.sim.engine import (
     ENGINE_FAST,
     ENGINE_REFERENCE,
+    ENGINE_SOA,
     diff_fingerprints,
     machine_digest,
     result_fingerprint,
@@ -52,9 +53,10 @@ from repro.sim.snapshot import (
     validate_snapshot,
 )
 from repro.workloads import make_workload
+from repro.env import env_int
 from tests.conftest import small_config
 
-FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "6"))
+FUZZ_EXAMPLES = env_int("REPRO_FUZZ_EXAMPLES", 6, minimum=1)
 
 WORKLOADS = (
     "syn:migration-daemon/seed=7",
@@ -68,7 +70,7 @@ MULTI_WORKLOAD = (
     "+syn:migration-daemon/addr=zipf/seed=8/refs=6000/blen=80@4+share=shared"
 )
 PROTOCOLS = ("software", "unitd", "hatric", "ideal")
-ENGINES = (ENGINE_REFERENCE, ENGINE_FAST)
+ENGINES = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_SOA)
 
 
 def _config(protocol: str, num_cpus: int = 4, **overrides) -> SystemConfig:
@@ -319,9 +321,10 @@ class TestSnapshotGuards:
         corrupt.write_text("{torn", encoding="utf-8")
         assert store.load(stale_path) is None
         assert store.load(corrupt) is None
-        removed, kept = store.prune()
+        removed, kept, failed = store.prune()
         assert removed == 2
         assert kept == 1
+        assert failed == 0
         assert store.load(path) is not None
 
     def test_shape_corrupt_candidate_degrades_to_cold(self, tmp_path) -> None:
@@ -360,8 +363,8 @@ class TestSnapshotGuards:
             entry = dict(snapshot)
             entry["executed_refs"] = refs * 1000
             store.save(family, entry)
-        removed, kept = store.prune(keep_per_family=4)
-        assert (removed, kept) == (2, 4)
+        removed, kept, failed = store.prune(keep_per_family=4)
+        assert (removed, kept, failed) == (2, 4, 0)
         survivors = [refs for refs, _ in store.candidates(family)]
         assert survivors == [6000, 5000, 4000, 3000]
 
