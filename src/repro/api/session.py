@@ -425,6 +425,24 @@ class Session:
             if self.disk_cache is not None:
                 self.disk_cache.put(key, result)
 
+    def run_matrix(
+        self, groups: Sequence[Sequence[RunRequest]]
+    ) -> list[list[AnyResult]]:
+        """Execute request groups as one flat deduplicated batch.
+
+        ``groups`` is a sequence of request lists (e.g. one list per
+        search candidate, holding that candidate's per-protocol
+        requests).  All groups are flattened into a single
+        :meth:`run_batch` call — so duplicates *across* groups are
+        simulated once and the process pool sees the whole matrix at
+        once — then the results are regrouped to mirror the input
+        structure.
+        """
+        groups = [list(group) for group in groups]
+        flat = [request for group in groups for request in group]
+        results = iter(self.run_batch(flat))
+        return [[next(results) for _ in group] for group in groups]
+
     def run_fleet(self, requests: Sequence) -> list:
         """Execute a batch of :class:`~repro.fleet.spec.FleetRequest`.
 

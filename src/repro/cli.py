@@ -248,11 +248,137 @@ def _build_parser() -> argparse.ArgumentParser:
 
     _add_consolidation_parser(subparsers, common)
     _add_scenario_parser(subparsers, common)
+    _add_hunt_parser(subparsers, common)
     _add_timeline_parser(subparsers, common)
     _add_fleet_parser(subparsers, common)
     _add_cache_parser(subparsers)
     _add_bench_parser(subparsers)
     return parser
+
+
+def _add_hunt_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    from repro.search import DEFAULT_OBJECTIVE, OBJECTIVES
+
+    hunt = subparsers.add_parser(
+        "hunt",
+        parents=[common],
+        help="adversarial scenario search under the invariant oracle",
+    )
+    hunt.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="unique candidate evaluations before stopping (default 50)",
+    )
+    hunt.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="hunt seed; the same seed replays the identical hunt",
+    )
+    hunt.add_argument(
+        "--objective",
+        default=DEFAULT_OBJECTIVE,
+        choices=tuple(OBJECTIVES),
+        help="protocol gap to optimize (default: %(default)s)",
+    )
+    hunt.add_argument(
+        "--protocols",
+        default="software,hatric,ideal",
+        metavar="P1,P2,...",
+        help="protocols simulated per candidate (default: %(default)s)",
+    )
+    hunt.add_argument(
+        "--num-cpus", type=int, default=8, metavar="N",
+        help="pCPU count of the hunted machine (default 8)",
+    )
+    hunt.add_argument(
+        "--refs", type=int, default=12_000, metavar="N",
+        help="references per simulation, before --scale (default 12000)",
+    )
+    hunt.add_argument(
+        "--population", type=int, default=8, metavar="N",
+        help="candidates bred per generation (default 8)",
+    )
+    hunt.add_argument(
+        "--max-guests", type=int, default=2, metavar="N",
+        help="guest ceiling for multi-VM candidates (default 2)",
+    )
+    hunt.add_argument(
+        "--frontier", type=int, default=8, metavar="N",
+        help="top evaluations kept in the reported frontier (default 8)",
+    )
+    hunt.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="also write the frontier as a scenario-corpus JSON to PATH",
+    )
+    hunt.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (on by default here)",
+    )
+
+
+def _hunt_session(args: argparse.Namespace) -> Session:
+    # Hunts default to the persistent cache *with* checkpoints: re-runs
+    # resolve from disk (a seeded hunt replays the identical request
+    # sequence) and neighboring candidates reuse checkpoint families.
+    if args.no_cache:
+        return Session(max_workers=args.jobs)
+    return Session(
+        cache_dir=args.cache_dir or True,
+        max_workers=args.jobs,
+        checkpoints=True,
+    )
+
+
+def _run_hunt(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.search import (
+        HuntSettings,
+        HuntViolationError,
+        corpus_from_result,
+        format_hunt,
+        run_hunt,
+    )
+
+    protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+    settings = HuntSettings(
+        objective=args.objective,
+        budget=args.budget,
+        seed=args.seed,
+        protocols=protocols,
+        num_cpus=args.num_cpus,
+        refs_total=args.refs,
+        population=args.population,
+        max_guests=args.max_guests,
+        frontier_size=args.frontier,
+    )
+    if args.scale is not None:
+        settings = settings.scaled(args.scale)
+    session = _hunt_session(args)
+    try:
+        result = run_hunt(settings, session)
+    except HuntViolationError as error:
+        if args.json:
+            payload = {
+                "ok": False,
+                "error": str(error),
+                "reproducer": error.reproducer,
+                "session": dataclasses.asdict(session.stats),
+            }
+            return json.dumps(payload, indent=2), 1
+        lines = [
+            f"VIOLATION {error.workload}: {violation}"
+            for violation in error.violations
+        ]
+        lines.append("reproducer (hunt seed + RunRequest payloads):")
+        lines.append(json.dumps(error.reproducer, indent=2))
+        return "\n".join(lines), 1
+    if args.corpus:
+        with open(args.corpus, "w", encoding="utf-8") as handle:
+            json.dump(corpus_from_result(result), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        payload = result.to_dict()
+        payload["ok"] = True
+        payload["session"] = dataclasses.asdict(session.stats)
+        return json.dumps(payload, indent=2), 0
+    return format_hunt(result) + "\n" + _session_footer(session), 0
 
 
 def _add_fleet_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -1118,6 +1244,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return code
         if args.command == "consolidation":
             text, code = _run_consolidation(args)
+            _emit(text, args.output)
+            return code
+        if args.command == "hunt":
+            text, code = _run_hunt(args)
             _emit(text, args.output)
             return code
         if args.command == "bench":

@@ -36,6 +36,8 @@ from repro.experiments.anatomy import anatomy_requests, run_anatomy, format_anat
 from repro.experiments.scenarios import (
     SCENARIO_FAMILIES,
     SCENARIO_PROTOCOLS,
+    InvariantViolation,
+    check_invariants,
     differential_violations,
     format_differential,
     format_scenarios,
@@ -94,6 +96,8 @@ __all__ = [
     "TIMELINE_PROTOCOLS",
     "TimelineResult",
     "TimelineSeries",
+    "InvariantViolation",
+    "check_invariants",
     "differential_violations",
     "format_figure12",
     "format_figure13",

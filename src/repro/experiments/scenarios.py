@@ -98,56 +98,123 @@ def sweep_scenarios(
 # ----------------------------------------------------------------------
 # differential validation
 # ----------------------------------------------------------------------
-def differential_violations(
+#: Invariant identifiers reported by :func:`check_invariants`.
+INVARIANT_NON_NEGATIVE = "non-negative-counters"
+INVARIANT_IDEAL_FLOOR = "ideal-is-floor"
+INVARIANT_HATRIC_BOUND = "hatric-beats-software"
+INVARIANT_RETIRED = "identical-retired-refs"
+
+INVARIANT_NAMES = (
+    INVARIANT_NON_NEGATIVE,
+    INVARIANT_IDEAL_FLOOR,
+    INVARIANT_HATRIC_BOUND,
+    INVARIANT_RETIRED,
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated cross-protocol invariant, with its offenders named.
+
+    Attributes:
+        invariant: which invariant failed (one of :data:`INVARIANT_NAMES`).
+        protocols: the offending protocol(s), e.g. ``("hatric",
+            "software")`` for an ordering violation or a single protocol
+            for a counter violation.
+        detail: human-readable evidence (the offending numbers).
+    """
+
+    invariant: str
+    protocols: tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {'/'.join(self.protocols)}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (for reproducer payloads)."""
+        return {
+            "invariant": self.invariant,
+            "protocols": list(self.protocols),
+            "detail": self.detail,
+        }
+
+
+def check_invariants(
     results: Mapping[str, SimulationResult]
-) -> list[str]:
+) -> list[InvariantViolation]:
     """Check one scenario's per-protocol results against the invariants.
 
     ``results`` maps protocol name to the :class:`SimulationResult` of
-    the *same* scenario on the *same* machine shape.  Returns
-    human-readable descriptions of every violated invariant (empty =
-    all invariants hold).
+    the *same* scenario on the *same* machine shape.  Returns one
+    :class:`InvariantViolation` per violated invariant, naming the
+    invariant and the offending protocol(s) (empty = all hold).
     """
-    violations: list[str] = []
+    violations: list[InvariantViolation] = []
+
+    def negative(protocol: str, detail: str) -> None:
+        violations.append(
+            InvariantViolation(INVARIANT_NON_NEGATIVE, (protocol,), detail)
+        )
+
     for protocol, result in results.items():
         stats = result.stats
         for event, count in stats.events.items():
             if count < 0:
-                violations.append(
-                    f"{protocol}: negative event counter {event}={count}"
-                )
+                negative(protocol, f"negative event counter {event}={count}")
         for cpu, per_cpu in enumerate(stats.cpus):
             if (
                 per_cpu.busy_cycles < 0
                 or per_cpu.coherence_cycles < 0
                 or per_cpu.instructions < 0
             ):
-                violations.append(f"{protocol}: negative cpu{cpu} counters")
+                negative(protocol, f"negative cpu{cpu} counters")
         if stats.background_cycles < 0:
-            violations.append(f"{protocol}: negative background cycles")
+            negative(protocol, "negative background cycles")
         if result.energy.dynamic < 0 or result.energy.static < 0:
-            violations.append(f"{protocol}: negative energy")
+            negative(protocol, "negative energy")
 
     retired = {p: r.stats.total_instructions for p, r in results.items()}
     if len(set(retired.values())) > 1:
-        violations.append(f"retired reference counts differ: {retired}")
+        violations.append(
+            InvariantViolation(
+                INVARIANT_RETIRED,
+                tuple(results),
+                f"retired reference counts differ: {retired}",
+            )
+        )
 
     ideal = results.get("ideal")
     if ideal is not None:
         for protocol, result in results.items():
             if result.runtime_cycles < ideal.runtime_cycles:
                 violations.append(
-                    f"ideal slower than {protocol}: "
-                    f"{ideal.runtime_cycles} > {result.runtime_cycles}"
+                    InvariantViolation(
+                        INVARIANT_IDEAL_FLOOR,
+                        ("ideal", protocol),
+                        f"ideal slower than {protocol}: "
+                        f"{ideal.runtime_cycles} > {result.runtime_cycles}",
+                    )
                 )
     hatric, software = results.get("hatric"), results.get("software")
     if hatric is not None and software is not None:
         if hatric.runtime_cycles > software.runtime_cycles:
             violations.append(
-                f"hatric slower than software: "
-                f"{hatric.runtime_cycles} > {software.runtime_cycles}"
+                InvariantViolation(
+                    INVARIANT_HATRIC_BOUND,
+                    ("hatric", "software"),
+                    f"hatric slower than software: "
+                    f"{hatric.runtime_cycles} > {software.runtime_cycles}",
+                )
             )
     return violations
+
+
+def differential_violations(
+    results: Mapping[str, SimulationResult]
+) -> list[str]:
+    """Human-readable form of :func:`check_invariants` (empty = all OK)."""
+    return [str(violation) for violation in check_invariants(results)]
 
 
 @dataclass

@@ -1,0 +1,63 @@
+"""Adversarial scenario search: find HATRIC's worst (and best) cases.
+
+The scenario engine (:mod:`repro.workloads.synthetic`) spans a large
+parameter space; the experiment layer so far only *enumerates* fixed
+grids of it.  This package *searches* the space: a deterministic,
+seeded evolutionary loop (:func:`repro.search.engine.run_hunt`) mutates
+and crosses :class:`~repro.workloads.synthetic.ScenarioSpec` knobs —
+including multi-VM ``multi:`` topologies — to optimize a pluggable
+objective (:mod:`repro.search.objectives`), e.g. maximizing the
+software-shootdown-vs-ideal overhead.
+
+Every evaluated candidate runs through the shared
+:class:`~repro.api.session.Session` (content-addressed dedup, disk
+cache, checkpoint reuse, process fan-out), and every result is checked
+against the cross-protocol differential invariants
+(:func:`repro.experiments.scenarios.check_invariants`).  A violation
+does not score the candidate — it aborts the hunt with a
+:class:`~repro.search.engine.HuntViolationError` carrying a reproducer
+(the exact ``RunRequest`` payloads plus the hunt seed), because a
+candidate that breaks an invariant is a simulator bug, not a search
+result.
+
+Front-end: ``python -m repro hunt``.  The discovered frontier is
+committed as ``tests/golden/hunt_corpus.json`` so the worst cases found
+become permanent regression inputs.
+"""
+
+from repro.search.engine import (
+    CandidateEval,
+    HuntResult,
+    HuntSettings,
+    HuntViolationError,
+    run_hunt,
+)
+from repro.search.objectives import DEFAULT_OBJECTIVE, OBJECTIVES, Objective
+from repro.search.report import corpus_from_result, format_hunt
+from repro.search.space import (
+    Candidate,
+    candidate_domain_violations,
+    crossover_candidates,
+    mutate_candidate,
+    random_candidate,
+    seed_candidates,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateEval",
+    "DEFAULT_OBJECTIVE",
+    "HuntResult",
+    "HuntSettings",
+    "HuntViolationError",
+    "OBJECTIVES",
+    "Objective",
+    "candidate_domain_violations",
+    "corpus_from_result",
+    "crossover_candidates",
+    "format_hunt",
+    "mutate_candidate",
+    "random_candidate",
+    "run_hunt",
+    "seed_candidates",
+]

@@ -1,0 +1,465 @@
+"""The hunt loop: seeded evolutionary search over scenario candidates.
+
+Determinism story (load-bearing — the CLI and tests assert it):
+
+* every random decision flows through one ``numpy`` generator seeded
+  from :attr:`HuntSettings.seed`;
+* selection depends only on simulation results, which are bit-identical
+  across engines, serial vs. ProcessPool sessions, and cache-hit vs.
+  cold runs;
+* ranking ties break on the candidate's canonical workload name.
+
+So a hunt is a pure function of (settings, base config): repeating it
+replays the exact same request sequence, which also makes hunts
+*cache-resumable* — an interrupted or re-run hunt turns into pure disk
+cache hits up to the point it previously reached.  Candidates issue
+absolute ``warmup_refs`` (never a warmup fraction) so their requests
+fall into checkpoint families that neighboring ``refs_total`` points
+can reuse.
+
+Every evaluated candidate is validated with
+:func:`repro.experiments.scenarios.check_invariants`; a violation
+raises :class:`HuntViolationError` with a reproducer instead of scoring
+the candidate, because an invariant-breaking scenario is a simulator
+bug the hunt just found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.api import RunRequest, Session
+from repro.experiments.runner import baseline_config
+from repro.experiments.scenarios import InvariantViolation, check_invariants
+from repro.search.objectives import DEFAULT_OBJECTIVE, OBJECTIVES, Objective
+from repro.search.space import (
+    Candidate,
+    crossover_candidates,
+    mutate_candidate,
+    random_candidate,
+    seed_candidates,
+)
+from repro.sim.config import MemoryConfig, PagingConfig, SystemConfig
+
+#: Ratio columns reported for every evaluation (numerator, denominator).
+_METRIC_PAIRS = (
+    ("software", "ideal"),
+    ("hatric", "ideal"),
+    ("software", "hatric"),
+)
+
+#: Salt mixed with the user seed so hunt streams are unrelated to the
+#: workload-generation streams that consume the same small seeds.
+_HUNT_SEED_SALT = 0x48554E54  # "HUNT"
+
+
+def hunt_base_config(num_cpus: int) -> SystemConfig:
+    """The default hunt machine: the baseline under real memory pressure.
+
+    Translation coherence only costs anything when remaps hit *live*
+    translations, which needs the die-stacked tier to be smaller than
+    the working sets the search explores (on the unpressured baseline
+    most of the scenario domain scores a flat 1.0x and the hunt has no
+    gradient).  So the hunt machine keeps the baseline cores, caches
+    and TLBs but shrinks the fast tier well below the footprint domain
+    and runs the eager migration daemon without prefetch — the same
+    pressured shape as the differential matrix machine, which keeps
+    hunt scores comparable to the fixed-matrix scenarios.
+    """
+    return baseline_config(
+        num_cpus=num_cpus,
+        memory=MemoryConfig(fast_frames=256, slow_frames=8192),
+        paging=PagingConfig(
+            policy="lru",
+            migration_daemon=True,
+            daemon_free_target=16,
+            prefetch_pages=0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class HuntSettings:
+    """Everything that determines a hunt (and hence its result).
+
+    Attributes:
+        objective: key into :data:`repro.search.objectives.OBJECTIVES`.
+        budget: unique candidate evaluations before stopping.
+        seed: hunt seed; same settings + same seed = bit-identical hunt.
+        protocols: protocols simulated per candidate (must cover the
+            objective's ratio and ``ideal``/``hatric``/``software`` for
+            the invariant oracle to have teeth).
+        num_cpus: pCPUs of the simulated machine.
+        refs_total: total references per simulation.
+        warmup_refs: absolute per-stream warmup (keeps requests in
+            reusable checkpoint families; see module docstring).
+        population: candidates bred per generation.
+        parents: top-ranked evaluations breeding the next generation.
+        fresh_fraction: probability a child is a fresh random immigrant.
+        crossover_fraction: probability a child is a parent crossover.
+        max_guests: guest ceiling for ``multi:`` candidates.
+        multi_probability: probability a random immigrant is multi-VM.
+        frontier_size: evaluations kept in the reported frontier.
+    """
+
+    objective: str = DEFAULT_OBJECTIVE
+    budget: int = 50
+    seed: int = 0
+    protocols: tuple[str, ...] = ("software", "hatric", "ideal")
+    num_cpus: int = 8
+    refs_total: int = 12_000
+    warmup_refs: int = 192
+    population: int = 8
+    parents: int = 4
+    fresh_fraction: float = 0.15
+    crossover_fraction: float = 0.25
+    max_guests: int = 2
+    multi_probability: float = 0.2
+    frontier_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            known = ", ".join(OBJECTIVES)
+            raise ValueError(
+                f"unknown objective {self.objective!r}; known: {known}"
+            )
+        missing = [
+            protocol
+            for protocol in OBJECTIVES[self.objective].protocols
+            if protocol not in self.protocols
+        ]
+        if missing:
+            raise ValueError(
+                f"objective {self.objective!r} needs protocols "
+                f"{missing} in the hunt's protocol set {self.protocols}"
+            )
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.population <= 0 or self.parents <= 0:
+            raise ValueError("population and parents must be positive")
+        if self.num_cpus <= 0:
+            raise ValueError("num_cpus must be positive")
+        if self.refs_total <= 0 or self.warmup_refs < 0:
+            raise ValueError("refs_total must be positive, warmup_refs >= 0")
+        if self.frontier_size <= 0:
+            raise ValueError("frontier_size must be positive")
+
+    def scaled(self, factor: float) -> "HuntSettings":
+        """Scale simulation length (refs and warmup) by ``factor``."""
+        if factor == 1.0:
+            return self
+        changes = {
+            "refs_total": max(256, int(self.refs_total * factor)),
+            "warmup_refs": max(16, int(self.warmup_refs * factor)),
+        }
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(changes)
+        return HuntSettings(**values)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (stable key order)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["protocols"] = list(self.protocols)
+        return payload
+
+
+@dataclass(frozen=True)
+class CandidateEval:
+    """One scored candidate evaluation.
+
+    ``metric`` is the objective's raw ratio; ``fitness`` is the signed
+    ranking value (bigger always better).  ``metrics`` holds every
+    standard protocol ratio computable from the hunt's protocol set.
+    """
+
+    workload: str
+    generation: int
+    order: int
+    metric: float
+    fitness: float
+    metrics: dict[str, float]
+    runtime_cycles: dict[str, int]
+    coherence_cycles: dict[str, int]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "workload": self.workload,
+            "generation": self.generation,
+            "order": self.order,
+            "metric": self.metric,
+            "metrics": dict(self.metrics),
+            "runtime_cycles": dict(self.runtime_cycles),
+            "coherence_cycles": dict(self.coherence_cycles),
+        }
+
+
+@dataclass
+class HuntResult:
+    """A completed hunt: every evaluation plus the ranked frontier."""
+
+    settings: HuntSettings
+    generations: int = 0
+    evaluations: list[CandidateEval] = field(default_factory=list)
+    frontier: list[CandidateEval] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[CandidateEval]:
+        """The frontier head (None for an empty hunt)."""
+        return self.frontier[0] if self.frontier else None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "settings": self.settings.to_dict(),
+            "generations": self.generations,
+            "evaluated": len(self.evaluations),
+            "best": self.best.to_dict() if self.best else None,
+            "frontier": [entry.to_dict() for entry in self.frontier],
+            "evaluations": [entry.to_dict() for entry in self.evaluations],
+        }
+
+
+class HuntViolationError(RuntimeError):
+    """A candidate broke a cross-protocol invariant: simulator bug found.
+
+    Carries the structured violations and a self-contained reproducer:
+    the candidate's exact :class:`RunRequest` payloads (serialized via
+    ``to_dict``) plus the hunt seed, so the failure replays without
+    re-running the search.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        violations: list[InvariantViolation],
+        reproducer: dict[str, Any],
+    ) -> None:
+        summary = "; ".join(str(violation) for violation in violations)
+        super().__init__(
+            f"invariant violation on candidate {workload!r}: {summary}"
+        )
+        self.workload = workload
+        self.violations = violations
+        self.reproducer = reproducer
+
+
+def candidate_requests(
+    candidate: Candidate,
+    settings: HuntSettings,
+    base: Optional[SystemConfig] = None,
+) -> list[RunRequest]:
+    """The per-protocol requests evaluating one candidate."""
+    if base is None:
+        base = hunt_base_config(settings.num_cpus)
+    config = candidate.configure(base.replace(num_cpus=settings.num_cpus))
+    workload = candidate.workload_name(settings.num_cpus)
+    return [
+        RunRequest(
+            config=config.with_protocol(protocol),
+            workload=workload,
+            refs_total=settings.refs_total,
+            warmup_refs=settings.warmup_refs,
+        )
+        for protocol in settings.protocols
+    ]
+
+
+def _ratios(results: dict[str, Any]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for numerator, denominator in _METRIC_PAIRS:
+        if numerator in results and denominator in results:
+            out[f"{numerator}_over_{denominator}"] = (
+                results[numerator].runtime_cycles
+                / max(1, results[denominator].runtime_cycles)
+            )
+    return out
+
+
+def _evaluate(
+    name: str,
+    candidate: Candidate,
+    results: dict[str, Any],
+    objective: Objective,
+    settings: HuntSettings,
+    base: Optional[SystemConfig],
+    generation: int,
+    order: int,
+) -> CandidateEval:
+    violations = check_invariants(results)
+    if violations:
+        raise HuntViolationError(
+            name,
+            violations,
+            reproducer={
+                "workload": name,
+                "hunt_seed": settings.seed,
+                "objective": settings.objective,
+                "violations": [v.to_dict() for v in violations],
+                "requests": [
+                    request.to_dict()
+                    for request in candidate_requests(candidate, settings, base)
+                ],
+            },
+        )
+    metric = objective.metric(results)
+    return CandidateEval(
+        workload=name,
+        generation=generation,
+        order=order,
+        metric=metric,
+        fitness=objective.fitness(metric),
+        metrics=_ratios(results),
+        runtime_cycles={
+            protocol: result.runtime_cycles
+            for protocol, result in results.items()
+        },
+        coherence_cycles={
+            protocol: result.coherence_cycles
+            for protocol, result in results.items()
+        },
+    )
+
+
+def _breed(
+    parents: list[Candidate],
+    rng: np.random.Generator,
+    settings: HuntSettings,
+    taken: set[str],
+) -> list[Candidate]:
+    """The next generation; every child's name is new to the hunt."""
+    children: list[Candidate] = []
+    names: set[str] = set()
+    attempts = 0
+    while len(children) < settings.population and attempts < 20 * settings.population:
+        attempts += 1
+        roll = float(rng.random())
+        if not parents or roll < settings.fresh_fraction:
+            child = random_candidate(
+                rng, settings.max_guests, settings.multi_probability
+            )
+        elif (
+            len(parents) >= 2
+            and roll < settings.fresh_fraction + settings.crossover_fraction
+        ):
+            first = int(rng.integers(len(parents)))
+            second = int(rng.integers(len(parents) - 1))
+            second += second >= first
+            child = crossover_candidates(parents[first], parents[second], rng)
+        else:
+            parent = parents[int(rng.integers(len(parents)))]
+            child = mutate_candidate(parent, rng, settings.max_guests)
+        name = child.workload_name(settings.num_cpus)
+        if name in taken or name in names:
+            continue
+        names.add(name)
+        children.append(child)
+    return children
+
+
+def run_hunt(
+    settings: HuntSettings,
+    session: Session,
+    base: Optional[SystemConfig] = None,
+) -> HuntResult:
+    """Run one budgeted hunt through ``session``.
+
+    ``base`` overrides the machine template (its ``num_cpus`` is forced
+    to ``settings.num_cpus``; per-family paging knobs are applied per
+    candidate).  Each generation's candidates are evaluated as a single
+    deduplicated :meth:`~repro.api.session.Session.run_matrix` batch, so
+    a parallel session fans the whole generation out at once.
+
+    Raises :class:`HuntViolationError` on the first invariant-breaking
+    candidate.
+    """
+    objective = OBJECTIVES[settings.objective]
+    rng = np.random.default_rng((_HUNT_SEED_SALT, settings.seed))
+
+    evaluated: dict[str, CandidateEval] = {}
+    candidates: dict[str, Candidate] = {}
+    evaluations: list[CandidateEval] = []
+
+    population = seed_candidates(settings.seed)
+    while len(population) < settings.population:
+        population.append(
+            random_candidate(rng, settings.max_guests, settings.multi_probability)
+        )
+
+    generation = 0
+    stalls = 0
+    while len(evaluated) < settings.budget and stalls < 10:
+        batch: list[tuple[str, Candidate]] = []
+        for candidate in population:
+            name = candidate.workload_name(settings.num_cpus)
+            if name in evaluated or any(name == seen for seen, _ in batch):
+                continue
+            batch.append((name, candidate))
+            if len(evaluated) + len(batch) >= settings.budget:
+                break
+        if not batch:
+            # The whole generation collided with already-evaluated
+            # names; re-seed with random immigrants (bounded by stalls).
+            stalls += 1
+            population = [
+                random_candidate(
+                    rng, settings.max_guests, settings.multi_probability
+                )
+                for _ in range(settings.population)
+            ]
+            continue
+        stalls = 0
+
+        groups = session.run_matrix(
+            [
+                candidate_requests(candidate, settings, base)
+                for _, candidate in batch
+            ]
+        )
+        for (name, candidate), group in zip(batch, groups):
+            results = dict(zip(settings.protocols, group))
+            entry = _evaluate(
+                name,
+                candidate,
+                results,
+                objective,
+                settings,
+                base,
+                generation,
+                order=len(evaluations),
+            )
+            evaluated[name] = entry
+            candidates[name] = candidate
+            evaluations.append(entry)
+
+        generation += 1
+        ranked = sorted(
+            evaluated.values(), key=lambda e: (-e.fitness, e.workload)
+        )
+        parents = [
+            candidates[entry.workload]
+            for entry in ranked[: settings.parents]
+        ]
+        population = _breed(parents, rng, settings, set(evaluated))
+
+    ranked = sorted(evaluated.values(), key=lambda e: (-e.fitness, e.workload))
+    return HuntResult(
+        settings=settings,
+        generations=generation,
+        evaluations=evaluations,
+        frontier=ranked[: settings.frontier_size],
+    )
+
+
+__all__ = [
+    "CandidateEval",
+    "HuntResult",
+    "HuntSettings",
+    "HuntViolationError",
+    "candidate_requests",
+    "hunt_base_config",
+    "run_hunt",
+]

@@ -1,0 +1,95 @@
+"""Pluggable search objectives: which protocol gap the hunt optimizes.
+
+Every objective is a runtime ratio between two protocols, maximized or
+minimized.  The engine turns the raw metric into a signed *fitness*
+(bigger is always better) so ranking code never branches on direction.
+
+The default objective maximizes the software-shootdown-vs-ideal
+overhead — the paper's headline gap — because scenarios that blow it up
+are exactly the consolidation shapes where HATRIC's hardware coherence
+pays off most.  ``hatric-parity`` inverts the software-vs-HATRIC gap to
+hunt for shapes where HATRIC stops paying off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One search objective: a runtime ratio and a direction.
+
+    Attributes:
+        key: CLI/corpus identifier.
+        description: one-line human description.
+        numerator / denominator: the protocols whose runtime ratio is
+            the raw metric; both must be part of the hunt's protocol
+            set.
+        maximize: whether bigger metrics are better.
+    """
+
+    key: str
+    description: str
+    numerator: str
+    denominator: str
+    maximize: bool = True
+
+    @property
+    def protocols(self) -> tuple[str, str]:
+        """Protocols this objective needs simulated."""
+        return (self.numerator, self.denominator)
+
+    def metric(self, results: Mapping[str, SimulationResult]) -> float:
+        """The raw metric: numerator runtime over denominator runtime."""
+        numerator = results[self.numerator].runtime_cycles
+        denominator = max(1, results[self.denominator].runtime_cycles)
+        return numerator / denominator
+
+    def fitness(self, metric: float) -> float:
+        """Signed ranking value — bigger is always better."""
+        return metric if self.maximize else -metric
+
+
+#: Registry of objectives, keyed for the CLI (declaration order is the
+#: ``--objective`` choice order).
+OBJECTIVES: dict[str, Objective] = {
+    objective.key: objective
+    for objective in (
+        Objective(
+            key="software-overhead",
+            description="maximize software-shootdown runtime over ideal",
+            numerator="software",
+            denominator="ideal",
+        ),
+        Objective(
+            key="hatric-overhead",
+            description="maximize HATRIC runtime over ideal",
+            numerator="hatric",
+            denominator="ideal",
+        ),
+        Objective(
+            key="protocol-gap",
+            description="maximize software runtime over HATRIC",
+            numerator="software",
+            denominator="hatric",
+        ),
+        Objective(
+            key="hatric-parity",
+            description=(
+                "minimize software runtime over HATRIC — find where "
+                "HATRIC stops paying off"
+            ),
+            numerator="software",
+            denominator="hatric",
+            maximize=False,
+        ),
+    )
+}
+
+DEFAULT_OBJECTIVE = "software-overhead"
+
+__all__ = ["DEFAULT_OBJECTIVE", "OBJECTIVES", "Objective"]

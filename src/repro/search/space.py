@@ -1,0 +1,238 @@
+"""The candidate space of the adversarial search.
+
+A :class:`Candidate` is one *machine-shaped* scenario: a tuple of guest
+:class:`~repro.workloads.synthetic.ScenarioSpec` values plus a VM
+sharing model.  A single guest materializes as its plain ``syn:`` name;
+multiple guests compose into a canonical ``multi:`` topology name whose
+per-guest vCPU counts are derived from the machine's pCPU count (all
+pCPUs per guest under ``shared`` consolidation, an even split under
+``pinned``).  Names are the dedup/cache identity of a candidate, so
+equal candidates always hit the same Session cache entry.
+
+The spec-level moves (domain table, mutation, crossover) live in
+:mod:`repro.workloads.synthetic` (`SEARCH_DOMAIN`, `mutate_spec`,
+`crossover_specs`, `random_spec`); this module lifts them to whole
+candidates and adds the topology-level moves: add/drop a guest and flip
+the sharing model.
+
+All randomness flows through an explicit :class:`numpy.random.Generator`
+so hunts are deterministic functions of their seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.scenarios import SCENARIO_FAMILIES, family_config
+from repro.sim.config import SystemConfig
+from repro.workloads.multi import MULTI_PREFIX
+from repro.workloads.synthetic import (
+    ScenarioSpec,
+    crossover_specs,
+    mutate_spec,
+    random_spec,
+    scenario_spec,
+    spec_domain_violations,
+)
+
+#: VM-level sharing models a multi-guest candidate may use (the
+#: process-level sharing inside each guest is a spec knob).
+CANDIDATE_SHARINGS = ("pinned", "shared")
+
+#: Ceiling on guests per candidate (the search never consolidates
+#: further than this; the CLI can lower it).
+MAX_GUESTS = 3
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space: guest specs plus VM sharing.
+
+    ``sharing`` only matters for multi-guest candidates; single-guest
+    candidates are normalized to ``pinned`` so equal scenarios always
+    carry equal names.
+    """
+
+    guests: tuple[ScenarioSpec, ...]
+    sharing: str = "pinned"
+
+    def __post_init__(self) -> None:
+        if not self.guests:
+            raise ValueError("a candidate needs at least one guest")
+        if len(self.guests) > MAX_GUESTS:
+            raise ValueError(f"at most {MAX_GUESTS} guests per candidate")
+        if self.sharing not in CANDIDATE_SHARINGS:
+            raise ValueError(
+                f"unknown candidate sharing {self.sharing!r}; known: "
+                f"{', '.join(CANDIDATE_SHARINGS)}"
+            )
+        if len(self.guests) == 1 and self.sharing != "pinned":
+            raise ValueError("single-guest candidates are always pinned")
+
+    def workload_name(self, num_cpus: int) -> str:
+        """Canonical workload name on a ``num_cpus``-pCPU machine.
+
+        Round-trips through :func:`repro.workloads.make_workload`: a
+        plain ``syn:`` name for one guest, a ``multi:`` topology name
+        otherwise.
+        """
+        if len(self.guests) == 1:
+            return self.guests[0].name
+        vcpus = self.guest_vcpus(num_cpus)
+        # ``@1`` is the topology-name default and must stay implicit,
+        # or the name would not be canonical (cache keys would differ
+        # from the equal name-built topology).
+        suffix = f"@{vcpus}" if vcpus != 1 else ""
+        parts = [f"{guest.name}{suffix}" for guest in self.guests]
+        if self.sharing == "shared":
+            parts.append("share=shared")
+        return MULTI_PREFIX + "+".join(parts)
+
+    def guest_vcpus(self, num_cpus: int) -> int:
+        """vCPUs per guest: all pCPUs when shared, an even split pinned."""
+        if self.sharing == "shared":
+            return num_cpus
+        return max(1, num_cpus // len(self.guests))
+
+    def configure(self, base: SystemConfig) -> SystemConfig:
+        """Apply every guest family's config knobs to a base system."""
+        for family in sorted({guest.family for guest in self.guests}):
+            base = family_config(base, family)
+        return base
+
+
+def candidate_domain_violations(candidate: Candidate) -> list[str]:
+    """Explain how ``candidate`` falls outside the search domain."""
+    violations: list[str] = []
+    for index, guest in enumerate(candidate.guests):
+        violations.extend(
+            f"guest {index}: {violation}"
+            for violation in spec_domain_violations(guest)
+        )
+    return violations
+
+
+def seed_candidates(seed: int = 0) -> list[Candidate]:
+    """The deterministic starting points of a hunt.
+
+    One preset per scenario family, plus three deliberately hostile
+    shapes — a tight-burst migration-daemon guest with a working set
+    well past the fast tier (alone and as a shared two-guest
+    consolidation) and a private-sharing strided compaction grinder at
+    the tightest burst cadence — so the search starts at the
+    known-adversarial regions of the space instead of having to
+    rediscover them from the mild family presets.
+    """
+    base = seed & 0xFFFF
+    candidates = [
+        Candidate(guests=(scenario_spec(family, seed=base),))
+        for family in SCENARIO_FAMILIES
+    ]
+    hostile = scenario_spec(
+        "migration-daemon",
+        seed=base,
+        footprint_pages=420,
+        hot_fraction=0.5,
+        burst_interval=100,
+        burst_length=30,
+    )
+    candidates.append(Candidate(guests=(hostile,)))
+    candidates.append(
+        Candidate(
+            guests=(hostile, hostile.replace(seed=(base + 1) & 0xFFFF)),
+            sharing="shared",
+        )
+    )
+    grinder = scenario_spec(
+        "compaction",
+        seed=base,
+        address_model="strided",
+        sharing="private",
+        footprint_pages=420,
+        hot_fraction=0.5,
+        burst_interval=50,
+    )
+    candidates.append(Candidate(guests=(grinder,)))
+    return candidates
+
+
+def random_candidate(
+    rng: np.random.Generator,
+    max_guests: int = 2,
+    multi_probability: float = 0.2,
+) -> Candidate:
+    """Draw a random candidate; multi-guest with ``multi_probability``."""
+    max_guests = max(1, min(max_guests, MAX_GUESTS))
+    count = 1
+    if max_guests > 1 and float(rng.random()) < multi_probability:
+        count = 2 + int(rng.integers(max_guests - 1))
+    guests = tuple(random_spec(rng) for _ in range(count))
+    sharing = "pinned"
+    if count > 1 and float(rng.random()) < 0.5:
+        sharing = "shared"
+    return Candidate(guests=guests, sharing=sharing)
+
+
+def mutate_candidate(
+    candidate: Candidate,
+    rng: np.random.Generator,
+    max_guests: int = 2,
+) -> Candidate:
+    """One local move: usually a spec mutation, sometimes a topology move.
+
+    Moves, by decreasing probability: mutate 1–2 knobs of one guest
+    (70%), add a mutated clone of an existing guest (10%, below the
+    guest ceiling), flip the VM sharing model (10%, multi-guest only),
+    drop one guest (10%, multi-guest only).  Probability mass of
+    inapplicable moves falls through to the spec mutation.
+    """
+    max_guests = max(1, min(max_guests, MAX_GUESTS))
+    guests = list(candidate.guests)
+    sharing = candidate.sharing
+    roll = float(rng.random())
+    if roll < 0.10 and len(guests) < max_guests:
+        source = guests[int(rng.integers(len(guests)))]
+        guests.insert(
+            int(rng.integers(len(guests) + 1)),
+            mutate_spec(source, rng, knobs=2),
+        )
+    elif roll < 0.20 and len(guests) > 1:
+        del guests[int(rng.integers(len(guests)))]
+    elif roll < 0.30 and len(guests) > 1:
+        sharing = "shared" if sharing == "pinned" else "pinned"
+    else:
+        index = int(rng.integers(len(guests)))
+        knobs = 2 if float(rng.random()) < 0.3 else 1
+        guests[index] = mutate_spec(guests[index], rng, knobs=knobs)
+    if len(guests) == 1:
+        sharing = "pinned"
+    return Candidate(guests=tuple(guests), sharing=sharing)
+
+
+def crossover_candidates(
+    a: Candidate,
+    b: Candidate,
+    rng: np.random.Generator,
+) -> Candidate:
+    """Cross two candidates: ``a``'s shape, guests crossed with ``b``'s."""
+    guests = tuple(
+        crossover_specs(guest, b.guests[index % len(b.guests)], rng)
+        for index, guest in enumerate(a.guests)
+    )
+    donor = b if float(rng.random()) < 0.5 else a
+    sharing = donor.sharing if len(guests) > 1 else "pinned"
+    return Candidate(guests=guests, sharing=sharing)
+
+
+__all__ = [
+    "CANDIDATE_SHARINGS",
+    "Candidate",
+    "MAX_GUESTS",
+    "candidate_domain_violations",
+    "crossover_candidates",
+    "mutate_candidate",
+    "random_candidate",
+    "seed_candidates",
+]

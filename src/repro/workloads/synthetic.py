@@ -443,6 +443,198 @@ def scenario_spec(family: str, seed: int = 0, **overrides: Any) -> ScenarioSpec:
 
 
 # ----------------------------------------------------------------------
+# search domain: random specs, mutation, crossover
+# ----------------------------------------------------------------------
+#: Knob domains the adversarial search (:mod:`repro.search`) explores.
+#: Categorical knobs map to their choice tuple; numeric knobs map to an
+#: inclusive ``(lo, hi)`` range (float bounds mean a float knob).  The
+#: fields *not* listed stay at their dataclass defaults inside the
+#: search: ``num_vcpus`` (the machine shape decides), ``refs_total``
+#: (the :class:`~repro.api.request.RunRequest` decides, so spec names —
+#: and hence cache keys — are independent of run length) and
+#: ``base_page`` (irrelevant to protocol behaviour).
+SEARCH_DOMAIN: dict[str, tuple] = {
+    "family": tuple(REMAP_MODELS),
+    "address_model": tuple(ADDRESS_MODELS),
+    "sharing": tuple(SHARING_MODELS),
+    "seed": (0, 65535),
+    "footprint_pages": (64, 8192),
+    "hot_fraction": (0.05, 1.0),
+    "cold_probability": (0.0, 0.05),
+    "page_reuse": (1, 16),
+    "write_fraction": (0.0, 1.0),
+    "zipf_alpha": (0.3, 2.0),
+    "stride_pages": (1, 64),
+    "phase_length": (50, 1000),
+    "drift_pages": (0, 400),
+    "shift_interval": (50, 1000),
+    "burst_interval": (50, 1000),
+    "burst_length": (0, 200),
+}
+
+_CATEGORICAL_KNOBS = ("family", "address_model", "sharing")
+_KNOB_ORDER = tuple(SEARCH_DOMAIN)
+
+#: Knobs only read by specific address models (see the model functions
+#: above): mutating e.g. ``zipf_alpha`` under ``strided`` produces a
+#: bit-identical trace, which wastes search budget on duplicates.
+_ADDRESS_KNOBS: dict[str, tuple[str, ...]] = {
+    "phased": ("hot_fraction", "cold_probability", "phase_length",
+               "drift_pages"),
+    "working-set-shift": ("hot_fraction", "cold_probability",
+                          "shift_interval"),
+    "zipf": ("zipf_alpha",),
+    "strided": ("stride_pages", "cold_probability"),
+}
+
+#: Knobs only read by specific remap families (the overlay episode
+#: schedule): ``steady`` has no overlay at all, and the epoch-based
+#: families ignore ``burst_length``.
+_FAMILY_KNOBS: dict[str, tuple[str, ...]] = {
+    "steady": (),
+    "migration-daemon": ("burst_interval", "burst_length"),
+    "live-migration": ("burst_interval", "burst_length"),
+    "compaction": ("burst_interval", "burst_length"),
+    "numa-balancing": ("burst_interval",),
+    "ballooning": ("burst_interval",),
+}
+
+_CONDITIONAL_KNOBS = frozenset(
+    knob for knobs in _ADDRESS_KNOBS.values() for knob in knobs
+) | frozenset(knob for knobs in _FAMILY_KNOBS.values() for knob in knobs)
+
+
+def active_knobs(spec: "ScenarioSpec") -> tuple[str, ...]:
+    """The search knobs that can affect ``spec``'s generated trace.
+
+    Unconditional knobs (family, address model, sharing, seed,
+    footprint, reuse, write fraction) plus the knobs its current
+    address model and remap family actually read.
+    """
+    live = set(_KNOB_ORDER) - _CONDITIONAL_KNOBS
+    live.update(_ADDRESS_KNOBS[spec.address_model])
+    live.update(_FAMILY_KNOBS[spec.family])
+    return tuple(knob for knob in _KNOB_ORDER if knob in live)
+#: Decimal places kept on mutated float knobs so every generated name
+#: stays short and round-trips exactly through :func:`_parse_value`.
+_FLOAT_DECIMALS = 4
+_PINNED_FIELDS = ("num_vcpus", "refs_total", "base_page")
+
+
+def spec_domain_violations(spec: ScenarioSpec) -> list[str]:
+    """Explain how ``spec`` falls outside :data:`SEARCH_DOMAIN`.
+
+    Returns one message per out-of-domain knob (empty = in-domain).
+    Used as the property-test contract for :func:`random_spec`,
+    :func:`mutate_spec` and :func:`crossover_specs`: every spec they
+    produce must come back empty.
+    """
+    violations: list[str] = []
+    for knob, domain in SEARCH_DOMAIN.items():
+        value = getattr(spec, knob)
+        if knob in _CATEGORICAL_KNOBS:
+            if value not in domain:
+                violations.append(f"{knob}={value!r} not in {domain}")
+            continue
+        lo, hi = domain
+        if not lo <= value <= hi:
+            violations.append(f"{knob}={value!r} outside [{lo}, {hi}]")
+        if isinstance(lo, float) and round(value, _FLOAT_DECIMALS) != value:
+            violations.append(f"{knob}={value!r} not rounded to "
+                              f"{_FLOAT_DECIMALS} decimals")
+    defaults = {f.name: f.default for f in fields(ScenarioSpec)}
+    for field_name in _PINNED_FIELDS:
+        value = getattr(spec, field_name)
+        if value != defaults[field_name]:
+            violations.append(
+                f"{field_name}={value!r} must stay at its default "
+                f"({defaults[field_name]!r}) inside the search domain"
+            )
+    return violations
+
+
+def _draw_knob(knob: str, rng: np.random.Generator) -> Any:
+    domain = SEARCH_DOMAIN[knob]
+    if knob in _CATEGORICAL_KNOBS:
+        return domain[int(rng.integers(len(domain)))]
+    lo, hi = domain
+    if isinstance(lo, float):
+        return round(float(rng.uniform(lo, hi)), _FLOAT_DECIMALS)
+    return int(rng.integers(lo, hi + 1))
+
+
+def _neighbor_knob(knob: str, value: Any, rng: np.random.Generator) -> Any:
+    """A local move for one knob, guaranteed to differ from ``value``."""
+    domain = SEARCH_DOMAIN[knob]
+    if knob in _CATEGORICAL_KNOBS:
+        others = tuple(c for c in domain if c != value)
+        return others[int(rng.integers(len(others)))]
+    lo, hi = domain
+    if isinstance(lo, float):
+        new = value + float(rng.uniform(-0.2, 0.2)) * (hi - lo)
+        new = round(min(hi, max(lo, new)), _FLOAT_DECIMALS)
+        if new == value:
+            new = round(float(rng.uniform(lo, hi)), _FLOAT_DECIMALS)
+        if new == value:
+            midpoint = (lo + hi) / 2.0
+            new = round(hi if value < midpoint else lo, _FLOAT_DECIMALS)
+        return new
+    span = hi - lo
+    step = 1 + int(rng.integers(max(1, span // 4)))
+    new = value + (step if rng.random() < 0.5 else -step)
+    new = min(hi, max(lo, new))
+    if new == value:
+        new = value + 1 if value < hi else value - 1
+    return new
+
+
+def random_spec(rng: np.random.Generator) -> ScenarioSpec:
+    """Draw a uniform random spec from :data:`SEARCH_DOMAIN`."""
+    return ScenarioSpec(**{knob: _draw_knob(knob, rng) for knob in _KNOB_ORDER})
+
+
+def mutate_spec(
+    spec: ScenarioSpec,
+    rng: np.random.Generator,
+    knobs: int = 1,
+) -> ScenarioSpec:
+    """Perturb ``knobs`` distinct knobs of ``spec`` with local moves.
+
+    Numeric knobs step within roughly a quarter of their domain span
+    (clipped to the domain); categorical knobs switch to a different
+    choice.  Every perturbed knob is guaranteed to change, so a
+    1-knob mutation never returns an equal spec.
+
+    Only :func:`active_knobs` of ``spec`` are eligible: perturbing a
+    knob the current address model / family never reads (say
+    ``zipf_alpha`` under ``strided``) would yield a distinct name over
+    a bit-identical trace, and a search would waste budget re-scoring
+    duplicates.
+    """
+    eligible = active_knobs(spec)
+    knobs = max(1, min(knobs, len(eligible)))
+    chosen = rng.permutation(len(eligible))[:knobs]
+    changes = {}
+    for index in chosen:
+        knob = eligible[int(index)]
+        changes[knob] = _neighbor_knob(knob, getattr(spec, knob), rng)
+    return spec.replace(**changes)
+
+
+def crossover_specs(
+    a: ScenarioSpec,
+    b: ScenarioSpec,
+    rng: np.random.Generator,
+) -> ScenarioSpec:
+    """Uniform field-wise crossover of two in-domain specs."""
+    changes = {
+        knob: getattr(b if rng.random() < 0.5 else a, knob)
+        for knob in _KNOB_ORDER
+    }
+    return ScenarioSpec(**changes)
+
+
+# ----------------------------------------------------------------------
 # the workload
 # ----------------------------------------------------------------------
 class SyntheticWorkload:
@@ -625,11 +817,17 @@ __all__ = [
     "FAMILY_PRESETS",
     "REMAP_MODELS",
     "SCENARIO_PREFIX",
+    "SEARCH_DOMAIN",
     "SHARING_MODELS",
     "ScenarioSpec",
     "SyntheticWorkload",
+    "active_knobs",
+    "crossover_specs",
     "make_scenario",
+    "mutate_spec",
     "parse_scenario_name",
+    "random_spec",
     "scenario_spec",
+    "spec_domain_violations",
     "summarize_trace",
 ]

@@ -19,12 +19,19 @@ lets CI run it on every push.
 
 from __future__ import annotations
 
+import copy
+
 import pytest
 
 from repro.api import ExperimentScale, RunRequest, Session
 from repro.experiments.scenarios import (
+    INVARIANT_HATRIC_BOUND,
+    INVARIANT_IDEAL_FLOOR,
+    INVARIANT_NON_NEGATIVE,
+    INVARIANT_RETIRED,
     SCENARIO_FAMILIES,
     SCENARIO_PROTOCOLS,
+    check_invariants,
     differential_violations,
     run_differential,
 )
@@ -32,16 +39,26 @@ from repro.sim.config import PagingConfig
 from repro.workloads.synthetic import SHARING_MODELS, scenario_spec
 from tests.conftest import small_config
 
-#: Fixed seed matrix: ~20 scenarios cycling through every family,
-#: address model and sharing model.  Each index is one scenario.
+#: Fixed seed matrix: 20 scenarios covering every family x sharing pair
+#: at least once and cycling through every address model.  Each index
+#: is one scenario.
 SCENARIO_MATRIX = tuple(range(20))
 
 _ADDRESS_CYCLE = ("zipf", "phased", "working-set-shift", "strided")
 
 
 def matrix_spec(index: int):
-    """Deterministically derive scenario ``index`` of the matrix."""
-    family = SCENARIO_FAMILIES[index % len(SCENARIO_FAMILIES)]
+    """Deterministically derive scenario ``index`` of the matrix.
+
+    The family advances every ``len(SHARING_MODELS)`` indices while the
+    sharing model cycles every index, so indices 0..17 walk the full
+    family x sharing product exactly once (the old ``index % 6`` family
+    cycle shared a factor of 3 with the sharing cycle and could never
+    pair e.g. ``ballooning`` or ``compaction`` with ``shared``).
+    """
+    family = SCENARIO_FAMILIES[
+        (index // len(SHARING_MODELS)) % len(SCENARIO_FAMILIES)
+    ]
     return scenario_spec(
         family,
         seed=1000 + index,
@@ -91,16 +108,23 @@ def test_invariants_hold(report, index):
 
 def test_matrix_covers_every_family_and_sharing_model():
     specs = [matrix_spec(index) for index in SCENARIO_MATRIX]
-    assert {spec.family for spec in specs} == set(SCENARIO_FAMILIES)
-    assert {spec.sharing for spec in specs} == set(SHARING_MODELS)
     assert {spec.address_model for spec in specs} == set(_ADDRESS_CYCLE)
+    # Every remap family is exercised under every sharing model: the
+    # ballooning x shared and compaction x shared combinations were the
+    # latent gap of the old cycling scheme.
+    pairs = {(spec.family, spec.sharing) for spec in specs}
+    assert pairs == {
+        (family, sharing)
+        for family in SCENARIO_FAMILIES
+        for sharing in SHARING_MODELS
+    }
     # Specs are distinct scenarios (distinct names, hence cache keys).
     assert len({spec.name for spec in specs}) == len(specs)
 
 
 def test_matrix_is_not_vacuous():
     """The matrix scenarios actually provoke remaps (evictions)."""
-    spec = matrix_spec(1)  # a migration-daemon scenario
+    spec = matrix_spec(3)  # a migration-daemon scenario
     result = Session().run(
         RunRequest(
             config=_base_config().with_protocol("software"),
@@ -134,3 +158,83 @@ def test_violations_are_detected():
         "ideal slower" in violation
         for violation in differential_violations(swapped)
     )
+
+
+# ----------------------------------------------------------------------
+# the violation machinery itself: corrupted results must produce
+# structured violations naming the invariant and the offending
+# protocols, not a bare assert.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clean_results():
+    """One clean two-protocol run to corrupt (copies only!)."""
+    spec = matrix_spec(3)
+    session = Session()
+    return {
+        protocol: session.run(
+            RunRequest(
+                config=_base_config().with_protocol(protocol),
+                workload=spec.name,
+            )
+        )
+        for protocol in ("software", "hatric", "ideal")
+    }
+
+
+def test_oracle_names_negative_counter_and_protocol(clean_results):
+    results = copy.deepcopy(clean_results)
+    results["hatric"].stats.events.add("corrupted.counter", -5)
+    violations = check_invariants(results)
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.invariant == INVARIANT_NON_NEGATIVE
+    assert violation.protocols == ("hatric",)
+    assert "corrupted.counter=-5" in violation.detail
+    assert str(violation).startswith("[non-negative-counters] hatric:")
+
+
+def test_oracle_names_hatric_software_inversion(clean_results):
+    # Relabel: "hatric" now carries the slower software run and
+    # "software" the fast ideal run.
+    results = {
+        "hatric": clean_results["software"],
+        "software": clean_results["ideal"],
+    }
+    violations = check_invariants(results)
+    assert [v.invariant for v in violations] == [INVARIANT_HATRIC_BOUND]
+    assert violations[0].protocols == ("hatric", "software")
+    assert "hatric slower than software" in violations[0].detail
+
+
+def test_oracle_names_ideal_floor_inversion(clean_results):
+    results = {
+        "ideal": clean_results["software"],
+        "software": clean_results["ideal"],
+    }
+    violations = check_invariants(results)
+    assert [v.invariant for v in violations] == [INVARIANT_IDEAL_FLOOR]
+    assert violations[0].protocols == ("ideal", "software")
+
+
+def test_oracle_names_retired_reference_mismatch(clean_results):
+    results = copy.deepcopy(clean_results)
+    results["software"].stats.cpus[0].instructions += 1
+    violations = check_invariants(results)
+    kinds = {v.invariant for v in violations}
+    assert INVARIANT_RETIRED in kinds
+    retired = next(v for v in violations if v.invariant == INVARIANT_RETIRED)
+    assert set(retired.protocols) == set(results)
+    assert "retired reference counts differ" in retired.detail
+
+
+def test_structured_violations_serialize_and_stringify(clean_results):
+    results = {
+        "ideal": clean_results["software"],
+        "software": clean_results["ideal"],
+    }
+    violation = check_invariants(results)[0]
+    payload = violation.to_dict()
+    assert payload["invariant"] == INVARIANT_IDEAL_FLOOR
+    assert payload["protocols"] == ["ideal", "software"]
+    # differential_violations is the stringified view of the same check.
+    assert differential_violations(results) == [str(violation)]

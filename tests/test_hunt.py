@@ -1,0 +1,234 @@
+"""Property and determinism tests for the adversarial search layer.
+
+Three contracts, per the search design:
+
+* every spec/candidate the search can generate stays inside
+  ``SEARCH_DOMAIN`` and carries a canonical ``syn:``/``multi:`` name
+  that round-trips through ``make_workload``;
+* a fixed-seed hunt is bit-identical across repeat runs and across
+  serial vs. ProcessPool sessions;
+* an invariant violation aborts the hunt with a structured reproducer
+  instead of a score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.search import (
+    Candidate,
+    HuntSettings,
+    HuntViolationError,
+    OBJECTIVES,
+    candidate_domain_violations,
+    crossover_candidates,
+    mutate_candidate,
+    random_candidate,
+    run_hunt,
+    seed_candidates,
+)
+from repro.search.engine import candidate_requests
+from repro.workloads import make_workload
+from repro.workloads.multi import MULTI_PREFIX
+from repro.workloads.synthetic import (
+    crossover_specs,
+    mutate_spec,
+    parse_scenario_name,
+    random_spec,
+    spec_domain_violations,
+)
+
+_PROPERTY = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+rng_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# ----------------------------------------------------------------------
+# spec-level properties
+# ----------------------------------------------------------------------
+@_PROPERTY
+@given(seed=rng_seeds, knobs=st.integers(min_value=1, max_value=4))
+def test_mutations_stay_in_domain_and_round_trip(seed, knobs):
+    rng = np.random.default_rng(seed)
+    spec = random_spec(rng)
+    assert spec_domain_violations(spec) == []
+    mutated = mutate_spec(spec, rng, knobs=knobs)
+    assert spec_domain_violations(mutated) == []
+    assert parse_scenario_name(mutated.name) == mutated
+    workload = make_workload(mutated.name)
+    assert workload.name == mutated.name
+
+
+@_PROPERTY
+@given(seed=rng_seeds)
+def test_single_knob_mutation_always_changes_the_spec(seed):
+    rng = np.random.default_rng(seed)
+    spec = random_spec(rng)
+    assert mutate_spec(spec, rng, knobs=1) != spec
+
+
+@_PROPERTY
+@given(seed=rng_seeds)
+def test_crossover_stays_in_domain_and_round_trips(seed):
+    rng = np.random.default_rng(seed)
+    a, b = random_spec(rng), random_spec(rng)
+    child = crossover_specs(a, b, rng)
+    assert spec_domain_violations(child) == []
+    assert parse_scenario_name(child.name) == child
+
+
+# ----------------------------------------------------------------------
+# candidate-level properties
+# ----------------------------------------------------------------------
+@_PROPERTY
+@given(seed=rng_seeds, num_cpus=st.sampled_from((2, 4, 8)))
+def test_candidate_names_round_trip_through_make_workload(seed, num_cpus):
+    rng = np.random.default_rng(seed)
+    candidate = random_candidate(rng, max_guests=3, multi_probability=0.7)
+    assert candidate_domain_violations(candidate) == []
+    name = candidate.workload_name(num_cpus)
+    workload = make_workload(name)
+    assert workload.name == name
+    if len(candidate.guests) > 1:
+        assert name.startswith(MULTI_PREFIX)
+
+
+@_PROPERTY
+@given(seed=rng_seeds, moves=st.integers(min_value=1, max_value=6))
+def test_candidate_mutation_chains_stay_in_domain(seed, moves):
+    rng = np.random.default_rng(seed)
+    candidate = seed_candidates()[int(rng.integers(6))]
+    for _ in range(moves):
+        candidate = mutate_candidate(candidate, rng, max_guests=3)
+    assert candidate_domain_violations(candidate) == []
+    assert make_workload(candidate.workload_name(4)).name == (
+        candidate.workload_name(4)
+    )
+
+
+@_PROPERTY
+@given(seed=rng_seeds)
+def test_candidate_crossover_stays_in_domain(seed):
+    rng = np.random.default_rng(seed)
+    a = random_candidate(rng, max_guests=3, multi_probability=0.7)
+    b = random_candidate(rng, max_guests=3, multi_probability=0.7)
+    child = crossover_candidates(a, b, rng)
+    assert candidate_domain_violations(child) == []
+
+
+def test_single_guest_candidates_are_normalized_to_pinned():
+    with pytest.raises(ValueError):
+        Candidate(guests=seed_candidates()[0].guests, sharing="shared")
+
+
+# ----------------------------------------------------------------------
+# hunt determinism
+# ----------------------------------------------------------------------
+_TINY = HuntSettings(
+    budget=6,
+    seed=11,
+    num_cpus=4,
+    refs_total=1200,
+    warmup_refs=48,
+    population=4,
+    parents=3,
+    frontier_size=4,
+)
+
+
+def test_fixed_seed_hunt_is_bit_identical_across_runs():
+    first = run_hunt(_TINY, Session())
+    second = run_hunt(_TINY, Session())
+    assert first.to_dict() == second.to_dict()
+
+
+def test_hunt_is_bit_identical_serial_vs_process_pool():
+    serial = run_hunt(_TINY, Session())
+    pooled = run_hunt(_TINY, Session(max_workers=2))
+    assert serial.to_dict() == pooled.to_dict()
+
+
+def test_hunt_respects_its_budget_and_ranks_the_frontier():
+    result = run_hunt(_TINY, Session())
+    assert len(result.evaluations) == _TINY.budget
+    names = [entry.workload for entry in result.evaluations]
+    assert len(set(names)) == len(names)
+    fitnesses = [entry.fitness for entry in result.frontier]
+    assert fitnesses == sorted(fitnesses, reverse=True)
+    assert result.best is result.frontier[0]
+
+
+def test_hunt_is_resumable_from_the_result_cache(tmp_path):
+    cold = Session(cache_dir=tmp_path, checkpoints=True)
+    first = run_hunt(_TINY, cold)
+    warm = Session(cache_dir=tmp_path, checkpoints=True)
+    second = run_hunt(_TINY, warm)
+    assert second.to_dict() == first.to_dict()
+    assert warm.stats.executed == 0
+    assert warm.stats.disk_hits == cold.stats.executed
+
+
+# ----------------------------------------------------------------------
+# settings and violation machinery
+# ----------------------------------------------------------------------
+def test_settings_reject_unknown_objective():
+    with pytest.raises(ValueError, match="unknown objective"):
+        HuntSettings(objective="nope")
+
+
+def test_settings_reject_protocol_set_missing_the_objective():
+    with pytest.raises(ValueError, match="needs protocols"):
+        HuntSettings(objective="software-overhead", protocols=("hatric", "ideal"))
+
+
+def test_minimizing_objectives_invert_fitness():
+    parity = OBJECTIVES["hatric-parity"]
+    assert parity.fitness(2.0) == -2.0
+    assert OBJECTIVES["software-overhead"].fitness(2.0) == 2.0
+
+
+def test_invariant_violation_aborts_the_hunt_with_a_reproducer():
+    """A rigged session (ideal slower than software) must abort the hunt."""
+    settings = _TINY
+    session = Session()
+
+    real_batch = session.run_batch
+
+    def rigged(requests):
+        results = real_batch(requests)
+        by_protocol = {r.config.protocol: i for i, r in enumerate(requests)}
+        if "ideal" in by_protocol and "software" in by_protocol:
+            # Swap ideal and software results for the first candidate:
+            # ideal now appears slower than software.
+            i, j = by_protocol["ideal"], by_protocol["software"]
+            results[i], results[j] = results[j], results[i]
+        return results
+
+    session.run_batch = rigged
+    with pytest.raises(HuntViolationError) as excinfo:
+        run_hunt(settings, session)
+    error = excinfo.value
+    assert error.violations
+    assert any(v.invariant == "ideal-is-floor" for v in error.violations)
+    reproducer = error.reproducer
+    assert reproducer["hunt_seed"] == settings.seed
+    assert reproducer["workload"] == error.workload
+    assert len(reproducer["requests"]) == len(settings.protocols)
+    for payload in reproducer["requests"]:
+        assert payload["workload"] == error.workload
+
+
+def test_candidate_requests_use_absolute_warmup():
+    """Hunt requests must be checkpoint-family-reusable: absolute warmup."""
+    candidate = seed_candidates()[0]
+    for request in candidate_requests(candidate, _TINY):
+        assert request.warmup_refs == _TINY.warmup_refs
+        assert request.refs_total == _TINY.refs_total
