@@ -15,6 +15,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Mapping, NamedTuple, Optional, Union
 
@@ -39,6 +40,19 @@ AnyResult = Union[SimulationResult, AnatomyRow]
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Grace period (seconds) before prune may remove an orphaned ``*.tmp``
+#: file.  Temp files younger than this are assumed to belong to a live
+#: writer mid-:func:`write_text_atomic`; only crashed writers leave
+#: temp files older than a minute.
+TMP_GRACE_SECONDS = 60.0
+
+#: The ``repro cache prune`` CLI default for ``--min-age``: entries
+#: (stale or not-yet-decodable) younger than an hour are left alone, so
+#: pruning a directory a live server is writing to cannot delete work
+#: in flight.  Programmatic callers default to 0 (prune everything
+#: stale) to keep library behaviour explicit.
+DEFAULT_PRUNE_MIN_AGE_SECONDS = 3600.0
 
 logger = logging.getLogger(__name__)
 
@@ -83,6 +97,49 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
     return base / "repro-hatric"
+
+
+def file_age_at_least(path: Path, now: float, age_seconds: float) -> Optional[bool]:
+    """Whether ``path``'s mtime is at least ``age_seconds`` before ``now``.
+
+    Returns None when the file vanished (a concurrent writer's rename or
+    another pruner got there first) -- callers must then skip the file
+    entirely rather than count it either way.
+    """
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        return None
+    return now - mtime >= age_seconds
+
+
+def prune_orphan_tmp_files(
+    directory: Path,
+    min_age_seconds: float,
+    tmp_grace_seconds: float,
+) -> tuple[int, int]:
+    """Delete abandoned ``*.tmp`` files left by crashed writers.
+
+    A temp file is only removed once it is older than *both*
+    ``min_age_seconds`` and ``tmp_grace_seconds``, so even a
+    ``min_age_seconds=0`` prune (tests, ``--min-age 0``) cannot delete
+    the temp file a live :func:`write_text_atomic` is about to rename.
+    Returns ``(removed, failed)``.
+    """
+    removed = failed = 0
+    cutoff = max(min_age_seconds, tmp_grace_seconds)
+    now = time.time()
+    for path in sorted(directory.glob("*.tmp")):
+        old_enough = file_age_at_least(path, now, cutoff)
+        if not old_enough:  # too young, or already gone (None)
+            continue
+        try:
+            path.unlink()
+            removed += 1
+        except OSError as error:
+            logger.warning("prune failed to delete %s: %s", path, error)
+            failed += 1
+    return removed, failed
 
 
 def write_text_atomic(path: Path, text: str) -> None:
@@ -333,7 +390,11 @@ class ResultCache:
                     pass
         return removed
 
-    def prune(self) -> PruneStats:
+    def prune(
+        self,
+        min_age_seconds: float = 0.0,
+        tmp_grace_seconds: float = TMP_GRACE_SECONDS,
+    ) -> PruneStats:
         """Delete stale (schema-mismatched) and undecodable entries.
 
         :meth:`get` already treats such entries as misses, but a miss
@@ -342,18 +403,37 @@ class ResultCache:
         across schema bumps.  Returns :class:`PruneStats`; a stale entry
         whose ``unlink`` fails counts as ``failed``, never as pruned or
         kept.
+
+        ``min_age_seconds`` scopes deletion to entries whose mtime is at
+        least that old: pruning a directory a *live server* is writing
+        to must not race an in-flight write into deletion (the CLI
+        defaults to :data:`DEFAULT_PRUNE_MIN_AGE_SECONDS`).  Too-young
+        stale entries count as ``kept``.  Abandoned ``*.tmp`` files from
+        crashed writers are removed once older than both the cutoff and
+        ``tmp_grace_seconds`` (counted in ``removed``); younger ones are
+        presumed to belong to a live :func:`write_text_atomic` and are
+        never touched, regardless of ``min_age_seconds``.
         """
         removed = kept = failed = 0
         if not self.directory.is_dir():
             return PruneStats(0, 0, 0)
+        now = time.time()
         for path in sorted(self.directory.glob("*.json")):
             stale = False
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     decode_result(json.load(handle))
+            except FileNotFoundError:
+                continue  # lost a race with another pruner/clear
             except (OSError, json.JSONDecodeError, CacheDecodeError):
                 stale = True
             if stale:
+                old_enough = file_age_at_least(path, now, min_age_seconds)
+                if old_enough is None:
+                    continue
+                if not old_enough:
+                    kept += 1
+                    continue
                 try:
                     path.unlink()
                     removed += 1
@@ -364,4 +444,7 @@ class ResultCache:
                     failed += 1
             else:
                 kept += 1
-        return PruneStats(removed, kept, failed)
+        tmp_removed, tmp_failed = prune_orphan_tmp_files(
+            self.directory, min_age_seconds, tmp_grace_seconds
+        )
+        return PruneStats(removed + tmp_removed, kept, failed + tmp_failed)

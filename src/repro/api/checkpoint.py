@@ -24,10 +24,17 @@ import hashlib
 import json
 import logging
 import re
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from repro.api.cache import PruneStats, write_text_atomic
+from repro.api.cache import (
+    TMP_GRACE_SECONDS,
+    PruneStats,
+    file_age_at_least,
+    prune_orphan_tmp_files,
+    write_text_atomic,
+)
 from repro.api.request import CACHE_SCHEMA_VERSION, RunRequest
 from repro.sim.config import config_to_dict
 from repro.sim.snapshot import (
@@ -178,7 +185,10 @@ class CheckpointStore:
         return removed
 
     def prune(
-        self, keep_per_family: int = PRUNE_KEEP_PER_FAMILY
+        self,
+        keep_per_family: int = PRUNE_KEEP_PER_FAMILY,
+        min_age_seconds: float = 0.0,
+        tmp_grace_seconds: float = TMP_GRACE_SECONDS,
     ) -> PruneStats:
         """Delete stale, undecodable and surplus checkpoints.
 
@@ -191,13 +201,29 @@ class CheckpointStore:
         An entry whose ``unlink`` fails counts as ``failed``, never as
         pruned; healthy surplus entries that fail to delete stay
         ``kept`` as well (they are still usable checkpoints).
+
+        ``min_age_seconds`` and ``tmp_grace_seconds`` carry the same
+        live-server guarantees as the result cache's prune: nothing
+        younger than ``min_age_seconds`` is deleted (stale *or* surplus
+        -- a checkpoint a live run just saved may be the one it is
+        about to extend), and orphaned ``*.tmp`` files need to clear
+        both cutoffs.
         """
         removed = kept = failed = 0
         if not self.directory.is_dir():
             return PruneStats(0, 0, 0)
+        now = time.time()
         families: dict[str, list[int]] = {}
         for path in sorted(self.directory.glob("*.json")):
+            if not path.exists():
+                continue  # lost a race with another pruner/clear
             if self.load(path) is None:
+                old_enough = file_age_at_least(path, now, min_age_seconds)
+                if old_enough is None:
+                    continue
+                if not old_enough:
+                    kept += 1
+                    continue
                 try:
                     path.unlink()
                     removed += 1
@@ -215,17 +241,22 @@ class CheckpointStore:
                 )
         for family, refs in families.items():
             for surplus in sorted(refs, reverse=True)[keep_per_family:]:
+                surplus_path = self.path_for(family, surplus)
+                if not file_age_at_least(surplus_path, now, min_age_seconds):
+                    continue  # too young (live run's own state), or gone
                 try:
-                    self.path_for(family, surplus).unlink()
+                    surplus_path.unlink()
                     removed += 1
                     kept -= 1
                 except OSError as error:
                     logger.warning(
-                        "prune failed to delete %s: %s",
-                        self.path_for(family, surplus), error,
+                        "prune failed to delete %s: %s", surplus_path, error
                     )
                     failed += 1
-        return PruneStats(removed, kept, failed)
+        tmp_removed, tmp_failed = prune_orphan_tmp_files(
+            self.directory, min_age_seconds, tmp_grace_seconds
+        )
+        return PruneStats(removed + tmp_removed, kept, failed + tmp_failed)
 
 
 __all__ = [

@@ -89,11 +89,17 @@ def _worker_pool(max_workers: Optional[int]) -> ProcessPoolExecutor:
     )
 
 
-def execute_request(request: RunRequest) -> AnyResult:
+def execute_request(request: RunRequest, on_interval=None) -> AnyResult:
     """Execute one request from scratch (no caching).
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it into worker processes.
+
+    ``on_interval``, when given, receives each freshly-emitted
+    :class:`~repro.sim.stats.IntervalSample` during execution (requests
+    without ``interval_refs`` emit nothing); the serve layer uses it to
+    stream live progress.  Observation only -- the returned result is
+    identical with or without it.
 
     When ``REPRO_VALIDATE_FASTPATH=1`` is set, every fast-engine trace
     request is executed on *both* engines and the results are diffed;
@@ -107,7 +113,7 @@ def execute_request(request: RunRequest) -> AnyResult:
         validate_fastpath_requested()
         and resolve_engine(request.engine or None) != ENGINE_REFERENCE
     ):
-        return _execute_validated(request, workload)
+        return _execute_validated(request, workload, on_interval)
     simulator = Simulator(request.config, engine=request.engine or None)
     return simulator.run(
         workload,
@@ -115,6 +121,7 @@ def execute_request(request: RunRequest) -> AnyResult:
         refs_total=request.refs_total,
         warmup_refs=request.warmup_refs,
         interval_refs=request.interval_refs,
+        on_interval=on_interval,
     )
 
 
@@ -245,13 +252,17 @@ def _execute_chain(
     ]
 
 
-def _execute_validated(request: RunRequest, workload) -> SimulationResult:
+def _execute_validated(
+    request: RunRequest, workload, on_interval=None
+) -> SimulationResult:
     """Run a trace request on every engine it implies; require identity.
 
     A ``fast`` request is checked against the reference engine; a
     ``soa`` request is checked against *both* other engines, since the
     struct-of-arrays core layers on top of the fast path and either
-    layer could drift independently.
+    layer could drift independently.  ``on_interval`` streams from the
+    first (reference) run only -- interval samples are engine-identical
+    by contract, so subscribers must not see each sample twice.
     """
     resolved = resolve_engine(request.engine or None)
     engines = [ENGINE_REFERENCE, ENGINE_FAST]
@@ -266,6 +277,7 @@ def _execute_validated(request: RunRequest, workload) -> SimulationResult:
             refs_total=request.refs_total,
             warmup_refs=request.warmup_refs,
             interval_refs=request.interval_refs,
+            on_interval=on_interval if engine == engines[0] else None,
         )
     reference = result_fingerprint(results[ENGINE_REFERENCE])
     for engine in engines[1:]:
@@ -300,6 +312,34 @@ class SessionStats:
     def simulations_avoided(self) -> int:
         """Runs that would have happened without the session machinery."""
         return self.deduplicated + self.memo_hits + self.disk_hits
+
+
+#: Per-item outcomes of :meth:`Session.plan_batch`.
+PLAN_MEMO = "memo"
+PLAN_DISK = "disk"
+PLAN_DEDUP = "dedup"
+PLAN_PENDING = "pending"
+
+
+@dataclass
+class BatchPlan:
+    """What a batch of requests needs, before anything executes.
+
+    Planning (dedup, memo and disk lookups) is separated from execution
+    transport so alternative transports -- the in-process pool of
+    :meth:`Session.run_batch`, the fleet engine of
+    :meth:`Session.run_fleet`, or the async single-flight executor of
+    :mod:`repro.serve` -- can share one caching policy.
+    """
+
+    #: cache key of every input item, aligned with the input order.
+    keys: list[str] = field(default_factory=list)
+    #: unique cold requests in first-seen order (key -> request).
+    pending: dict[str, object] = field(default_factory=dict)
+    #: per-item outcome, aligned with ``keys``: one of
+    #: :data:`PLAN_MEMO`, :data:`PLAN_DISK`, :data:`PLAN_DEDUP`,
+    #: :data:`PLAN_PENDING`.
+    sources: list[str] = field(default_factory=list)
 
 
 class Session:
@@ -372,6 +412,62 @@ class Session:
         """Execute (or recall) a single request."""
         return self.run_batch([request])[0]
 
+    def plan_batch(self, requests: Sequence) -> BatchPlan:
+        """Resolve what a batch needs without executing anything.
+
+        Works on anything with a ``cache_key`` (trace
+        :class:`~repro.api.request.RunRequest` and fleet
+        :class:`~repro.fleet.spec.FleetRequest` alike).  Duplicate keys
+        within the batch collapse to one pending entry; keys already
+        memoized (or present in the disk cache, which the plan promotes
+        into the memo) need no execution at all.  Stats are accounted
+        here, at planning time -- execution transports only add
+        ``executed`` via :meth:`store_result`.
+        """
+        plan = BatchPlan()
+        requests = list(requests)
+        self.stats.requested += len(requests)
+        for request in requests:
+            key = request.cache_key
+            plan.keys.append(key)
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                plan.sources.append(PLAN_MEMO)
+                continue
+            if key in plan.pending:
+                self.stats.deduplicated += 1
+                plan.sources.append(PLAN_DEDUP)
+                continue
+            if self.disk_cache is not None:
+                cached = self.disk_cache.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.disk_hits += 1
+                    plan.sources.append(PLAN_DISK)
+                    continue
+            plan.pending[key] = request
+            plan.sources.append(PLAN_PENDING)
+        return plan
+
+    def peek(self, key: str) -> Optional[AnyResult]:
+        """The memoized result for a cache key, or None (no execution)."""
+        return self._memo.get(key)
+
+    def store_result(self, key: str, result: AnyResult) -> None:
+        """Record an externally-executed result under its cache key.
+
+        The transport half of :meth:`plan_batch`: memoizes, counts one
+        execution, and persists to the disk cache when configured.
+        """
+        self._memo[key] = result
+        self.stats.executed += 1
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, result)
+
+    def collect(self, plan: BatchPlan) -> list[AnyResult]:
+        """Results for a fully-executed plan, aligned with its input order."""
+        return [self._memo[key] for key in plan.keys]
+
     def run_batch(self, requests: Sequence[RunRequest]) -> list[AnyResult]:
         """Execute a batch, returning results aligned with the input order.
 
@@ -379,30 +475,10 @@ class Session:
         seen before by this session (or present in the disk cache) are
         not simulated at all.
         """
-        requests = list(requests)
-        self.stats.requested += len(requests)
-
-        # Resolve what each unique key needs, preserving first-seen order.
-        pending: dict[str, RunRequest] = {}
-        for request in requests:
-            key = request.cache_key
-            if key in self._memo:
-                self.stats.memo_hits += 1
-                continue
-            if key in pending:
-                self.stats.deduplicated += 1
-                continue
-            if self.disk_cache is not None:
-                cached = self.disk_cache.get(key)
-                if cached is not None:
-                    self._memo[key] = cached
-                    self.stats.disk_hits += 1
-                    continue
-            pending[key] = request
-
-        if pending:
-            self._execute_pending(pending)
-        return [self._memo[request.cache_key] for request in requests]
+        plan = self.plan_batch(requests)
+        if plan.pending:
+            self._execute_pending(plan.pending)
+        return self.collect(plan)
 
     def _execute_pending(self, pending: dict[str, RunRequest]) -> None:
         keys = list(pending)
@@ -420,10 +496,7 @@ class Session:
         else:
             results = [self.executor(request) for request in todo]
         for key, result in zip(keys, results):
-            self._memo[key] = result
-            self.stats.executed += 1
-            if self.disk_cache is not None:
-                self.disk_cache.put(key, result)
+            self.store_result(key, result)
 
     def run_matrix(
         self, groups: Sequence[Sequence[RunRequest]]
@@ -456,28 +529,10 @@ class Session:
         """
         from repro.fleet.engine import execute_fleet
 
-        requests = list(requests)
-        self.stats.requested += len(requests)
-        pending: dict[str, object] = {}
-        for request in requests:
-            key = request.cache_key
-            if key in self._memo:
-                self.stats.memo_hits += 1
-                continue
-            if key in pending:
-                self.stats.deduplicated += 1
-                continue
-            if self.disk_cache is not None:
-                cached = self.disk_cache.get(key)
-                if cached is not None:
-                    self._memo[key] = cached
-                    self.stats.disk_hits += 1
-                    continue
-            pending[key] = request
-
-        if pending:
-            keys = list(pending)
-            todo = [pending[key] for key in keys]
+        plan = self.plan_batch(requests)
+        if plan.pending:
+            keys = list(plan.pending)
+            todo = [plan.pending[key] for key in keys]
             parallel = (
                 self.max_workers is not None
                 and self.max_workers > 1
@@ -489,11 +544,8 @@ class Session:
             else:
                 results = [execute_fleet(request) for request in todo]
             for key, result in zip(keys, results):
-                self._memo[key] = result
-                self.stats.executed += 1
-                if self.disk_cache is not None:
-                    self.disk_cache.put(key, result)
-        return [self._memo[request.cache_key] for request in requests]
+                self.store_result(key, result)
+        return self.collect(plan)
 
     def _execute_checkpointed(
         self, todo: list[RunRequest], parallel: bool
@@ -573,20 +625,25 @@ class Session:
         for request in requests:
             self._memo.pop(request.cache_key, None)
 
-    def prune(self) -> dict[str, PruneStats]:
+    def prune(self, min_age_seconds: float = 0.0) -> dict[str, PruneStats]:
         """Prune stale on-disk entries (results and checkpoints).
 
         Returns ``{"results": PruneStats, "checkpoints": PruneStats}``;
         sections without a configured store report all-zero stats.
+        ``min_age_seconds`` scopes deletion to entries at least that
+        old, so pruning a directory a live server is writing to cannot
+        delete in-flight work (see :meth:`ResultCache.prune`).
         """
         # ``is not None``: both stores define __len__, so an *empty*
         # store is falsy and a bare truthiness test would skip it.
         empty = PruneStats(0, 0, 0)
         results = (
-            self.disk_cache.prune() if self.disk_cache is not None else empty
+            self.disk_cache.prune(min_age_seconds=min_age_seconds)
+            if self.disk_cache is not None
+            else empty
         )
         checkpoints = (
-            self.checkpoint_store.prune()
+            self.checkpoint_store.prune(min_age_seconds=min_age_seconds)
             if self.checkpoint_store is not None
             else empty
         )

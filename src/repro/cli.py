@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro import __version__
 from repro.api import ExperimentScale, Session, Sweep, SweepResult
+from repro.api.cache import DEFAULT_PRUNE_MIN_AGE_SECONDS
 from repro.experiments import (
     format_anatomy,
     format_figure2,
@@ -253,7 +254,186 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fleet_parser(subparsers, common)
     _add_cache_parser(subparsers)
     _add_bench_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_loadtest_parser(subparsers)
     return parser
+
+
+def _add_serve_parser(subparsers) -> None:
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve simulations over HTTP (multi-tenant, single-flight)",
+        description=(
+            "Start the asyncio HTTP/JSON simulation service: clients "
+            "POST RunRequest/Sweep/FleetRequest payloads, identical "
+            "in-flight requests coalesce to one execution, and results "
+            "persist in the shared on-disk store.  See docs/SERVE.md."
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8357,
+        metavar="PORT",
+        help="port to listen on; 0 picks an ephemeral port (default 8357)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-hatric)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cold-simulation worker processes; 0 executes on an "
+        "in-process thread pool (default 2)",
+    )
+
+
+def _add_loadtest_parser(subparsers) -> None:
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="drive concurrent synthetic clients against a server",
+        description=(
+            "Run the concurrency/load harness: seeded asyncio clients "
+            "issue a zipf-skewed request mix, then the run asserts the "
+            "service contract (single-flight dedup, counter "
+            "conservation, zero invariant violations, bit-identity "
+            "with direct execution) and reports hit/miss latency "
+            "percentiles.  Spawns an in-process server unless --port "
+            "targets a live one."
+        ),
+    )
+    loadtest.add_argument(
+        "--clients",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="concurrent synthetic clients (default 1000)",
+    )
+    loadtest.add_argument(
+        "--requests",
+        type=int,
+        default=3,
+        metavar="N",
+        help="sequential requests per client (default 3)",
+    )
+    loadtest.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run for a fixed time instead of a fixed request count",
+    )
+    loadtest.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        metavar="N",
+        help="distinct synthetic scenarios in the pool (default 8)",
+    )
+    loadtest.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="zipf skew of the request mix (default 1.1)",
+    )
+    loadtest.add_argument(
+        "--seed",
+        type=int,
+        default=2025,
+        metavar="N",
+        help="seed for the scenario pool and the request mix",
+    )
+    loadtest.add_argument(
+        "--num-cpus",
+        type=int,
+        default=4,
+        metavar="N",
+        help="machine shape of every request (default 4)",
+    )
+    loadtest.add_argument(
+        "--refs",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="per-request reference budget (default 4000)",
+    )
+    loadtest.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes of the spawned server; 0 uses threads "
+        "(default 2; ignored with --port)",
+    )
+    loadtest.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="store directory of the spawned server (default: the "
+        "default store; ignored with --port)",
+    )
+    loadtest.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="host of an already-running server (with --port)",
+    )
+    loadtest.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="port of an already-running server; omit to spawn one "
+        "in-process",
+    )
+    loadtest.add_argument(
+        "--connection-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simultaneously-open client connections (default 256)",
+    )
+    loadtest.add_argument(
+        "--expect",
+        choices=("cold", "warm", "any"),
+        default="cold",
+        help="dedup assertion: cold store (executed == distinct), warm "
+        "store (executed == 0), or any (executed <= distinct)",
+    )
+    loadtest.add_argument(
+        "--no-multi",
+        action="store_true",
+        help="exclude multi-VM (consolidated) names from the pool",
+    )
+    loadtest.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identity re-execution of distinct requests",
+    )
+    loadtest.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the text table",
+    )
+    loadtest.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (e.g. LOAD_9.txt)",
+    )
 
 
 def _add_hunt_parser(subparsers, common: argparse.ArgumentParser) -> None:
@@ -605,7 +785,7 @@ def _add_cache_parser(subparsers) -> None:
     commands.add_parser(
         "info", help="show cache location and entry counts"
     )
-    commands.add_parser(
+    prune = commands.add_parser(
         "prune",
         help="delete stale-version and undecodable entries",
         description=(
@@ -613,8 +793,18 @@ def _add_cache_parser(subparsers) -> None:
             "longer matches the running code (or which cannot be "
             "decoded at all).  Lookups already treat such entries as "
             "misses; pruning removes them instead of ignoring them "
-            "forever."
+            "forever.  Entries younger than --min-age are left alone, "
+            "so pruning a directory a live server is writing to never "
+            "deletes in-flight work."
         ),
+    )
+    prune.add_argument(
+        "--min-age",
+        type=float,
+        default=DEFAULT_PRUNE_MIN_AGE_SECONDS,
+        metavar="SECONDS",
+        help="only delete entries at least this old (default 3600; "
+        "pass 0 to prune regardless of age)",
     )
 
 
@@ -636,7 +826,7 @@ def _run_cache(args: argparse.Namespace) -> tuple[str, int]:
         ]
         return "\n".join(lines), 0
     # cache_command == "prune"
-    pruned = session.prune()
+    pruned = session.prune(min_age_seconds=args.min_age)
     lines = [f"cache directory: {results.directory}"]
     for section in ("results", "checkpoints"):
         stats = pruned[section]
@@ -1230,6 +1420,83 @@ def _run_scenario(args: argparse.Namespace) -> tuple[str, int]:
     return text, 0 if report.ok else 1
 
 
+def _run_serve(args: argparse.Namespace) -> tuple[str, int]:
+    # imported lazily: the serve layer (and asyncio) only loads when
+    # the service actually starts
+    import asyncio
+
+    from repro.serve import ReproServer, ServiceSettings, SimulationService
+    from repro.serve.service import DEFAULT_WORKERS
+
+    workers = DEFAULT_WORKERS if args.workers is None else args.workers
+    settings = ServiceSettings(
+        cache_dir=args.cache_dir or True, workers=workers
+    )
+    service = SimulationService(settings)
+    server = ReproServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"(store {service.session.disk_cache.directory}, "
+            f"workers {workers})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return "repro serve: stopped", 0
+
+
+def _run_loadtest(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.experiments.output import experiment_output
+    from repro.serve.loadtest import (
+        DEFAULT_CONNECTION_LIMIT,
+        LoadTestSettings,
+        format_load_report,
+        run_loadtest,
+    )
+
+    settings = LoadTestSettings(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        duration=args.duration,
+        scenarios=args.scenarios,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        num_cpus=args.num_cpus,
+        refs_total=args.refs,
+        workers=args.workers,
+        include_multi=not args.no_multi,
+        connection_limit=(
+            DEFAULT_CONNECTION_LIMIT
+            if args.connection_limit is None
+            else args.connection_limit
+        ),
+        expect=args.expect,
+        verify_identity=not args.no_verify,
+    )
+    host = port = None
+    if args.port is not None:
+        host, port = args.host, args.port
+    report = run_loadtest(
+        settings, host=host, port=port, cache_dir=args.cache_dir
+    )
+    return experiment_output(
+        args.json,
+        report.to_dict,
+        lambda: format_load_report(report),
+        ok=report.ok,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1257,6 +1524,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "cache":
             text, code = _run_cache(args)
             _emit(text, None)
+            return code
+        if args.command == "serve":
+            text, code = _run_serve(args)
+            _emit(text, None)
+            return code
+        if args.command == "loadtest":
+            text, code = _run_loadtest(args)
+            _emit(text, args.output)
             return code
         if args.command == "timeline":
             text, code = _run_timeline(args)

@@ -1,0 +1,41 @@
+"""A multi-tenant simulation service over the session layer.
+
+``python -m repro serve`` exposes the content-addressed
+:class:`~repro.api.session.Session` machinery -- dedup, schema-stamped
+disk cache, checkpoint reuse, process fan-out -- as an asyncio
+HTTP/JSON service: many clients POST
+:class:`~repro.api.request.RunRequest` / :class:`~repro.api.sweep.
+Sweep` / :class:`~repro.fleet.spec.FleetRequest` payloads against one
+shared store.  In-flight work is *single-flight*: N clients posting the
+same cache key cost exactly one simulation, everyone awaits the same
+future.  Cold work shards over a bounded worker pool; cached results
+are served instantly; runs with ``interval_refs`` can stream their
+telemetry live as server-sent events.
+
+Layering: ``serve`` sits above ``api`` (and uses ``experiments`` for
+invariant checks and table rendering, like ``search`` does).  The
+``api`` layer must never import ``serve``.
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.http import ReproServer
+from repro.serve.loadtest import (
+    LoadReport,
+    LoadTestSettings,
+    format_load_report,
+    run_loadtest,
+)
+from repro.serve.protocol import ServiceError
+from repro.serve.service import ServiceSettings, SimulationService
+
+__all__ = [
+    "LoadReport",
+    "LoadTestSettings",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceSettings",
+    "SimulationService",
+    "format_load_report",
+    "run_loadtest",
+]

@@ -1,0 +1,145 @@
+"""A small asyncio client for the serve protocol.
+
+One connection per request (the server speaks ``Connection: close``),
+JSON bodies both ways, and an async iterator over server-sent events
+for the streaming route.  Used by the load-test harness and the
+protocol test suite; it is deliberately the *only* HTTP client in the
+repo, so wire-format drift breaks tests instead of users.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Optional
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.serve.http.ReproServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+    ) -> tuple[int, Any]:
+        """One round trip; returns ``(status, decoded JSON body)``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            await self._send(writer, method, path, payload)
+            status, _, body = await self._read_response(reader)
+            return status, json.loads(body) if body else None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def stream(
+        self, path: str, payload: Any
+    ) -> AsyncIterator[tuple[str, Any]]:
+        """POST and yield ``(event, data)`` SSE pairs until the server
+        closes the stream."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            await self._send(writer, "POST", path, payload)
+            status, headers, _ = await self._read_head(reader)
+            if "text/event-stream" not in headers.get("content-type", ""):
+                body = await reader.read()
+                raise RuntimeError(
+                    f"expected an event stream, got status {status}: "
+                    f"{body.decode('utf-8', 'replace')[:200]}"
+                )
+            event_name = None
+            data_lines: list[str] = []
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:
+                    if event_name is not None:
+                        yield event_name, json.loads("\n".join(data_lines))
+                    event_name, data_lines = None, []
+                    continue
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    async def get(self, path: str) -> tuple[int, Any]:
+        """``GET path``."""
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: Any) -> tuple[int, Any]:
+        """``POST path`` with a JSON body."""
+        return await self.request("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        payload: Optional[Any],
+    ) -> None:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict[str, str], None]:
+        status_line = (await reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(None, 2)
+        if len(parts) < 2:
+            raise RuntimeError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, None
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str], bytes]:
+        status, headers, _ = await self._read_head(reader)
+        length = headers.get("content-length")
+        if length is not None:
+            body = await reader.readexactly(int(length))
+        else:
+            body = await reader.read()
+        return status, headers, body
+
+
+__all__ = ["ServiceClient"]

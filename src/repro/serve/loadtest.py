@@ -1,0 +1,469 @@
+"""A synthetic multi-tenant load generator for the serve layer.
+
+``python -m repro loadtest`` (and the committed ``LOAD_9.txt``
+snapshot) drives thousands of concurrent asyncio clients against a
+live server with a zipf-skewed request mix over ``syn:`` / ``multi:``
+workload names, then *proves* the service contract rather than just
+timing it:
+
+* **dedup** -- cold simulations == distinct cache keys posted (fresh
+  store), or zero (warm store); never more than distinct.
+* **conservation** -- server-side ``hits + misses == requests``.
+* **invariants** -- per-scenario protocol results pass
+  :func:`repro.experiments.scenarios.check_invariants` (ideal is a
+  floor, hatric beats software, counters non-negative, retired refs
+  identical).
+* **bit-identity** -- every distinct result returned over the wire is
+  fingerprint-identical to direct :func:`~repro.api.session.
+  execute_request` execution of the same request.
+
+Latency is reported as exact nearest-rank p50/p95/p99, split by cache
+hit vs miss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.api.cache import decode_result
+from repro.api.request import RunRequest
+from repro.api.session import execute_request
+from repro.experiments.output import render_table
+from repro.experiments.runner import baseline_config
+from repro.experiments.scenarios import SCENARIO_FAMILIES, check_invariants
+from repro.serve.http import ReproServer
+from repro.serve.client import ServiceClient
+from repro.serve.service import ServiceSettings, SimulationService
+from repro.sim.engine import diff_fingerprints, result_fingerprint
+from repro.sim.simulator import SimulationResult
+from repro.sim.stats import nearest_rank_percentile
+from repro.workloads.synthetic import scenario_spec
+
+#: Cap on simultaneously-open client connections; two file descriptors
+#: per in-process connection (client + server end) makes an unbounded
+#: 1000-client burst brush against default ``ulimit -n`` values.
+DEFAULT_CONNECTION_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class LoadTestSettings:
+    """Shape of one load-test run (fully seeded: reproducible mix)."""
+
+    #: concurrent synthetic clients.
+    clients: int = 1000
+    #: sequential requests each client issues (ignored with duration).
+    requests_per_client: int = 3
+    #: run for this many seconds instead of a fixed request count.
+    duration: Optional[float] = None
+    #: distinct synthetic scenarios in the pool (cycled over families).
+    scenarios: int = 8
+    #: protocols crossed with every scenario.
+    protocols: tuple[str, ...] = ("software", "hatric", "ideal")
+    #: zipf skew of the request mix (rank probability ~ 1/rank^s).
+    zipf_s: float = 1.1
+    #: seed for scenario generation and the request mix.
+    seed: int = 2025
+    #: machine shape of every request.
+    num_cpus: int = 4
+    #: per-request reference budget (small: the point is concurrency).
+    refs_total: int = 4000
+    #: worker processes of the spawned in-process server (0 = threads).
+    workers: int = 2
+    #: include multi-VM (consolidated) compositions in the pool.
+    include_multi: bool = True
+    #: simultaneously-open client connections.
+    connection_limit: int = DEFAULT_CONNECTION_LIMIT
+    #: dedup expectation: "cold" (fresh store: executed == distinct),
+    #: "warm" (pre-warmed store: executed == 0), "any" (executed <=
+    #: distinct).
+    expect: str = "cold"
+    #: re-execute every distinct request directly and require
+    #: fingerprint identity with the served results.
+    verify_identity: bool = True
+
+
+@dataclass
+class LoadReport:
+    """Everything a load-test run measured and asserted."""
+
+    settings: LoadTestSettings
+    wall_seconds: float
+    total_requests: int
+    distinct_keys: int
+    stats: dict[str, Any]
+    #: per-source latency samples (seconds), keyed memo/disk/coalesced/
+    #: executed.
+    latency: dict[str, list[float]] = field(default_factory=dict)
+    #: ``(name, ok, detail)`` triples, one per contract check.
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every contract check passed."""
+        return all(ok for _, ok, _ in self.checks)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible summary (the CLI ``--json`` payload)."""
+        return {
+            "ok": self.ok,
+            "clients": self.settings.clients,
+            "wall_seconds": self.wall_seconds,
+            "total_requests": self.total_requests,
+            "distinct_keys": self.distinct_keys,
+            "stats": self.stats,
+            "latency_ms": {
+                bucket: _latency_summary(samples)
+                for bucket, samples in sorted(self.latency.items())
+            },
+            "checks": [
+                {"name": name, "ok": ok, "detail": detail}
+                for name, ok, detail in self.checks
+            ],
+        }
+
+
+def _latency_summary(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    ms = [s * 1000.0 for s in samples]
+    return {
+        "count": len(ms),
+        "p50": nearest_rank_percentile(ms, 50.0),
+        "p95": nearest_rank_percentile(ms, 95.0),
+        "p99": nearest_rank_percentile(ms, 99.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# request pool
+# ----------------------------------------------------------------------
+def build_request_pool(
+    settings: LoadTestSettings,
+) -> list[tuple[str, str, RunRequest]]:
+    """The ``(scenario, protocol, request)`` population clients draw from.
+
+    Scenario names are canonical ``syn:`` (and, when enabled,
+    ``multi:``) strings, each crossed with every protocol on the same
+    machine shape -- which is exactly the grouping
+    :func:`check_invariants` wants back at verification time.
+    """
+    if settings.scenarios < 1:
+        raise ValueError("scenarios must be >= 1")
+    names: list[str] = []
+    for index in range(settings.scenarios):
+        family = SCENARIO_FAMILIES[index % len(SCENARIO_FAMILIES)]
+        names.append(
+            scenario_spec(family, seed=settings.seed + index).name
+        )
+    if settings.include_multi and settings.num_cpus >= 2 and len(names) >= 2:
+        half = settings.num_cpus // 2
+        names.append(f"multi:{names[0]}@{half}+{names[1]}@{half}")
+        names.append(
+            f"multi:{names[0]}@{half}+{names[0]}@{half}+share=shared"
+        )
+    pool: list[tuple[str, str, RunRequest]] = []
+    for name in names:
+        for protocol in settings.protocols:
+            request = RunRequest(
+                config=baseline_config(
+                    num_cpus=settings.num_cpus, protocol=protocol
+                ),
+                workload=name,
+                refs_total=settings.refs_total,
+            )
+            pool.append((name, protocol, request))
+    return pool
+
+
+def _zipf_probabilities(size: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, s)
+    return weights / weights.sum()
+
+
+# ----------------------------------------------------------------------
+# the run itself
+# ----------------------------------------------------------------------
+async def _drive_clients(
+    settings: LoadTestSettings,
+    client: ServiceClient,
+    pool: list[tuple[str, str, RunRequest]],
+) -> list[tuple[int, str, float, dict]]:
+    """Fan out the clients; returns ``(pick, source, latency, body)``
+    records for every completed request."""
+    probabilities = _zipf_probabilities(len(pool), settings.zipf_s)
+    limiter = asyncio.Semaphore(max(1, settings.connection_limit))
+    records: list[tuple[int, str, float, dict]] = []
+    deadline = (
+        time.monotonic() + settings.duration
+        if settings.duration is not None
+        else None
+    )
+
+    async def one_request(pick: int) -> None:
+        _, _, request = pool[pick]
+        payload = {"request": request.to_dict()}
+        async with limiter:
+            # timed inside the limiter: the semaphore is an fd-budget
+            # artifact of running all clients in one process, not part
+            # of the server's observable latency
+            started = time.perf_counter()
+            status, body = await client.post("/run", payload)
+            elapsed = time.perf_counter() - started
+        if status != 200 or not body or not body.get("ok"):
+            raise RuntimeError(
+                f"request for pool entry {pick} failed: "
+                f"status {status}, body {body!r}"
+            )
+        records.append((pick, body["source"], elapsed, body))
+
+    async def one_client(client_index: int) -> None:
+        rng = np.random.default_rng(
+            (settings.seed * 1_000_003 + client_index) % (2**63)
+        )
+        if deadline is None:
+            picks = rng.choice(
+                len(pool), size=settings.requests_per_client, p=probabilities
+            )
+            for pick in picks:
+                await one_request(int(pick))
+        else:
+            while time.monotonic() < deadline:
+                pick = int(rng.choice(len(pool), p=probabilities))
+                await one_request(pick)
+
+    await asyncio.gather(
+        *[one_client(index) for index in range(settings.clients)]
+    )
+    return records
+
+
+def _verify(
+    settings: LoadTestSettings,
+    pool: list[tuple[str, str, RunRequest]],
+    records: list[tuple[int, str, float, dict]],
+    stats_delta: dict[str, int],
+) -> list[tuple[str, bool, str]]:
+    """The contract checks; see the module docstring."""
+    checks: list[tuple[str, bool, str]] = []
+    picked = sorted({pick for pick, _, _, _ in records})
+    distinct = len({pool[pick][2].cache_key for pick in picked})
+
+    requests = stats_delta["requests"]
+    hits = stats_delta["hits"]
+    misses = stats_delta["misses"]
+    checks.append((
+        "conservation",
+        hits + misses == requests and requests == len(records),
+        f"hits {hits} + misses {misses} == requests {requests} "
+        f"(client-side {len(records)})",
+    ))
+
+    executed = stats_delta["executed"]
+    if settings.expect == "cold":
+        dedup_ok = executed == distinct
+        expectation = f"== distinct {distinct} (cold store)"
+    elif settings.expect == "warm":
+        dedup_ok = executed == 0
+        expectation = "== 0 (warm store)"
+    else:
+        dedup_ok = executed <= distinct
+        expectation = f"<= distinct {distinct}"
+    checks.append((
+        "dedup",
+        dedup_ok,
+        f"executed {executed} {expectation}",
+    ))
+    checks.append((
+        "errors",
+        stats_delta["errors"] == 0,
+        f"execution errors {stats_delta['errors']}",
+    ))
+
+    # one decoded result per distinct pool entry actually requested
+    decoded: dict[int, Any] = {}
+    for pick, _, _, body in records:
+        if pick not in decoded:
+            decoded[pick] = decode_result(body["result"])
+
+    # invariants: group per scenario, protocols that were all sampled
+    by_scenario: dict[str, dict[str, SimulationResult]] = {}
+    for pick, result in decoded.items():
+        scenario, protocol, _ = pool[pick]
+        by_scenario.setdefault(scenario, {})[protocol] = result
+    violations: list[str] = []
+    complete = 0
+    for scenario, results in sorted(by_scenario.items()):
+        if set(results) != set(settings.protocols):
+            continue  # the zipf tail may never sample a protocol
+        complete += 1
+        violations.extend(
+            f"{scenario}: {violation}"
+            for violation in map(str, check_invariants(results))
+        )
+    checks.append((
+        "invariants",
+        not violations,
+        violations[0] if violations else (
+            f"0 violations across {complete} fully-sampled scenarios"
+        ),
+    ))
+
+    if settings.verify_identity:
+        mismatches: list[str] = []
+        for pick, served in sorted(decoded.items()):
+            scenario, protocol, request = pool[pick]
+            direct = execute_request(request)
+            differences = diff_fingerprints(
+                result_fingerprint(direct), result_fingerprint(served)
+            )
+            if differences:
+                mismatches.append(
+                    f"{scenario}/{protocol}: {differences[0]}"
+                )
+        checks.append((
+            "bit-identity",
+            not mismatches,
+            mismatches[0] if mismatches else (
+                f"{len(decoded)} distinct results fingerprint-identical "
+                f"to direct execution"
+            ),
+        ))
+    return checks
+
+
+async def _run_loadtest_async(
+    settings: LoadTestSettings,
+    host: Optional[str],
+    port: Optional[int],
+    cache_dir,
+) -> LoadReport:
+    server = None
+    if host is None or port is None:
+        service = SimulationService(ServiceSettings(
+            cache_dir=cache_dir if cache_dir is not None else True,
+            workers=settings.workers,
+        ))
+        server = ReproServer(service)
+        host, port = await server.start()
+    client = ServiceClient(host, port)
+    pool = build_request_pool(settings)
+    try:
+        _, before = await client.get("/stats")
+        started = time.perf_counter()
+        records = await _drive_clients(settings, client, pool)
+        wall = time.perf_counter() - started
+        _, after = await client.get("/stats")
+    finally:
+        if server is not None:
+            await server.stop()
+    stats_delta = {
+        key: after[key] - before[key]
+        for key in (
+            "requests", "hits", "misses", "memo_hits", "disk_hits",
+            "coalesced", "executed", "errors",
+        )
+    }
+    latency: dict[str, list[float]] = {}
+    for _, source, elapsed, _ in records:
+        latency.setdefault(source, []).append(elapsed)
+    checks = _verify(settings, pool, records, stats_delta)
+    return LoadReport(
+        settings=settings,
+        wall_seconds=wall,
+        total_requests=len(records),
+        distinct_keys=len({
+            pool[pick][2].cache_key for pick, _, _, _ in records
+        }),
+        stats={**after, "delta": stats_delta},
+        latency=latency,
+        checks=checks,
+    )
+
+
+def run_loadtest(
+    settings: Optional[LoadTestSettings] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    cache_dir=None,
+) -> LoadReport:
+    """Run the load test; spawns an in-process server unless ``host`` /
+    ``port`` point at a live one.
+
+    ``cache_dir`` seeds the in-process server's store (ignored with an
+    external server); None uses the default store location.
+    """
+    settings = settings or LoadTestSettings()
+    return asyncio.run(
+        _run_loadtest_async(settings, host, port, cache_dir)
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering (the LOAD_9.txt format)
+# ----------------------------------------------------------------------
+def format_load_report(report: LoadReport) -> str:
+    """The committed-snapshot text form (see ``LOAD_9.txt``)."""
+    settings = report.settings
+    delta = report.stats["delta"]
+    lines = [
+        "repro loadtest: concurrent synthetic clients vs one shared store",
+        (
+            f"clients={settings.clients} requests={report.total_requests} "
+            f"pool={len(build_request_pool(settings))} "
+            f"distinct-requested={report.distinct_keys} "
+            f"zipf_s={settings.zipf_s} seed={settings.seed}"
+        ),
+        (
+            f"num_cpus={settings.num_cpus} refs_total={settings.refs_total} "
+            f"workers={settings.workers} expect={settings.expect} "
+            f"wall={report.wall_seconds:.2f}s "
+            f"rps={report.total_requests / report.wall_seconds:.0f}"
+        ),
+        "",
+    ]
+    columns = ["source", "count", "p50_ms", "p95_ms", "p99_ms"]
+    rows = []
+    for source in ("memo", "disk", "coalesced", "executed"):
+        samples = report.latency.get(source, [])
+        summary = _latency_summary(samples)
+        rows.append([
+            source,
+            summary["count"],
+            f"{summary['p50']:.2f}",
+            f"{summary['p95']:.2f}",
+            f"{summary['p99']:.2f}",
+        ])
+    lines.append(render_table(columns, rows))
+    lines.append("")
+    lines.append(
+        f"server: requests={delta['requests']} hits={delta['hits']} "
+        f"(memo {delta['memo_hits']}, disk {delta['disk_hits']}) "
+        f"coalesced={delta['coalesced']} executed={delta['executed']} "
+        f"errors={delta['errors']}"
+    )
+    for name, ok, detail in report.checks:
+        verdict = "OK" if ok else "VIOLATION"
+        lines.append(f"{verdict}: {name}: {detail}")
+    return "\n".join(lines)
+
+
+def settings_with(settings: LoadTestSettings, **overrides) -> LoadTestSettings:
+    """A copy of ``settings`` with fields replaced (CLI plumbing)."""
+    return replace(settings, **overrides)
+
+
+__all__ = [
+    "DEFAULT_CONNECTION_LIMIT",
+    "LoadReport",
+    "LoadTestSettings",
+    "build_request_pool",
+    "format_load_report",
+    "run_loadtest",
+    "settings_with",
+]

@@ -1,0 +1,131 @@
+"""Service counters and latency accounting for the ``/stats`` endpoint.
+
+The counters obey one conservation law the protocol tests pin::
+
+    requests == memo_hits + disk_hits + coalesced + executed
+
+Every admitted run unit (a single ``/run`` or ``/fleet`` request, or
+one grid point of a ``/sweep``) is classified exactly once at admission
+time; ``rejected`` (4xx) and ``errors`` (execution failures) are
+tracked outside that identity because a rejected request never reaches
+planning and a failed execution was still classified ``executed``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.stats import nearest_rank_percentile
+
+#: Latency sample cap; beyond it the reservoir stops growing (the
+#: percentiles of the first N samples are representative long before
+#: N reaches this).
+MAX_LATENCY_SAMPLES = 200_000
+
+
+@dataclass
+class LatencyReservoir:
+    """Wall-clock latency samples with exact nearest-rank percentiles."""
+
+    samples: list[float] = field(default_factory=list)
+    count: int = 0
+
+    def add(self, seconds: float) -> None:
+        """Record one request latency (seconds)."""
+        self.count += 1
+        if len(self.samples) < MAX_LATENCY_SAMPLES:
+            self.samples.append(seconds)
+
+    def summary(self) -> dict[str, Any]:
+        """``{count, mean_ms, p50_ms, p95_ms, p99_ms}`` (zeros when empty)."""
+        if not self.samples:
+            return {
+                "count": self.count,
+                "mean_ms": 0.0,
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+            }
+        to_ms = [s * 1000.0 for s in self.samples]
+        return {
+            "count": self.count,
+            "mean_ms": sum(to_ms) / len(to_ms),
+            "p50_ms": nearest_rank_percentile(to_ms, 50.0),
+            "p95_ms": nearest_rank_percentile(to_ms, 95.0),
+            "p99_ms": nearest_rank_percentile(to_ms, 99.0),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Mutable service-wide counters (single-threaded: the event loop)."""
+
+    #: run units admitted to planning (each classified exactly once).
+    requests: int = 0
+    #: answered from the session memo (includes disk entries promoted
+    #: by an earlier request).
+    memo_hits: int = 0
+    #: answered from the on-disk cache at admission.
+    disk_hits: int = 0
+    #: attached to an identical in-flight execution (single-flight).
+    coalesced: int = 0
+    #: cold executions actually submitted to the worker pool.
+    executed: int = 0
+    #: admitted units whose execution raised (subset of ``executed``).
+    errors: int = 0
+    #: requests rejected before admission (4xx: bad payload, bad route).
+    rejected: int = 0
+    #: streaming (SSE) connections opened.
+    streams: int = 0
+    started: float = field(default_factory=time.monotonic)
+    hit_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    miss_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    @property
+    def hits(self) -> int:
+        """Requests served without awaiting a fresh execution."""
+        return self.memo_hits + self.disk_hits
+
+    @property
+    def misses(self) -> int:
+        """Requests that had to await an execution (own or coalesced)."""
+        return self.coalesced + self.executed
+
+    def record_latency(self, source: str, seconds: float) -> None:
+        """File one request latency under its admission classification."""
+        if source in ("memo", "disk"):
+            self.hit_latency.add(seconds)
+        else:
+            self.miss_latency.add(seconds)
+
+    def snapshot(self, in_flight: int, queue_depth: int) -> dict[str, Any]:
+        """The ``/stats`` payload (plus live gauges from the service)."""
+        uptime = time.monotonic() - self.started
+        return {
+            "uptime_seconds": uptime,
+            "requests": self.requests,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "misses": self.misses,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "streams": self.streams,
+            "hit_rate": (self.hits / self.requests) if self.requests else 0.0,
+            "requests_per_second": (
+                self.requests / uptime if uptime > 0 else 0.0
+            ),
+            "in_flight": in_flight,
+            "queue_depth": queue_depth,
+            "latency": {
+                "hit": self.hit_latency.summary(),
+                "miss": self.miss_latency.summary(),
+            },
+        }
+
+
+__all__ = ["LatencyReservoir", "MAX_LATENCY_SAMPLES", "ServiceMetrics"]

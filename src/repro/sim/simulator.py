@@ -268,6 +268,7 @@ class Simulator:
         *,
         warmup_refs: Optional[int] = None,
         interval_refs: Optional[int] = None,
+        on_interval=None,
         checkpoint_refs: Optional[int] = None,
         on_checkpoint=None,
     ) -> SimulationResult:
@@ -290,6 +291,11 @@ class Simulator:
           IntervalSample` roughly every that many retired references
           (at executor round boundaries), collected on
           :attr:`SimulationResult.intervals`.
+        * ``on_interval`` -- callback invoked with each freshly-emitted
+          :class:`~repro.sim.stats.IntervalSample` the moment it is
+          appended (including the final partial interval), for live
+          progress streaming.  Observation only: the collected
+          ``intervals`` list is identical with or without it.
         * ``checkpoint_refs`` / ``on_checkpoint`` -- capture
           :mod:`repro.sim.snapshot` machine snapshots at round-aligned
           positions (periodically every ``checkpoint_refs`` references
@@ -325,6 +331,7 @@ class Simulator:
             prior_executed=0,
             prior_intervals=[],
             interval_refs=interval_refs,
+            on_interval=on_interval,
             anchor=None,
             anchor_refs=0,
             checkpoint_refs=checkpoint_refs,
@@ -344,6 +351,7 @@ class Simulator:
         anchor: Optional[dict] = None,
         anchor_refs: Optional[int] = None,
         interval_refs: Optional[int] = None,
+        on_interval=None,
         checkpoint_refs: Optional[int] = None,
         on_checkpoint=None,
     ) -> SimulationResult:
@@ -375,6 +383,7 @@ class Simulator:
             prior_executed=executed_refs,
             prior_intervals=list(intervals or []),
             interval_refs=interval_refs,
+            on_interval=on_interval,
             anchor=anchor,
             anchor_refs=executed_refs if anchor_refs is None else anchor_refs,
             checkpoint_refs=checkpoint_refs,
@@ -458,6 +467,7 @@ class Simulator:
         prior_executed: int,
         prior_intervals: list[IntervalSample],
         interval_refs: Optional[int],
+        on_interval=None,
         anchor: Optional[dict],
         anchor_refs: int,
         checkpoint_refs: Optional[int],
@@ -474,6 +484,11 @@ class Simulator:
         ends = [len(s) for s in trace.streams]
         intervals = prior_intervals
         chunk = _INTERLEAVE_CHUNK
+
+        def emit_interval(sample: IntervalSample) -> None:
+            intervals.append(sample)
+            if on_interval is not None:
+                on_interval(sample)
 
         on_round = None
         if interval_refs is not None or on_checkpoint is not None:
@@ -519,7 +534,7 @@ class Simulator:
                     and executed_total - state["anchor_refs"] >= interval_refs
                 ):
                     current = self.telemetry_aggregate()
-                    intervals.append(
+                    emit_interval(
                         self._interval_delta(
                             state["anchor_refs"], executed_total,
                             state["anchor"], current,
@@ -561,7 +576,7 @@ class Simulator:
             executed_total = prior_executed + executed
             if executed_total > state["anchor_refs"]:
                 current = self.telemetry_aggregate()
-                intervals.append(
+                emit_interval(
                     self._interval_delta(
                         state["anchor_refs"], executed_total,
                         state["anchor"], current,

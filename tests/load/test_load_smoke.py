@@ -1,0 +1,108 @@
+"""Small-footprint smoke of the concurrency/load harness.
+
+The committed ``LOAD_9.txt`` snapshot comes from the full 1000-client
+run; this suite keeps a scaled-down version of the same contract in the
+tier-1 path: every client is answered, exactly one cold simulation per
+distinct cache key, zero invariant violations, and results bit-identical
+to direct :func:`~repro.api.session.execute_request` execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadtest import (
+    LoadTestSettings,
+    build_request_pool,
+    format_load_report,
+    run_loadtest,
+)
+
+SMOKE = LoadTestSettings(
+    clients=120,
+    requests_per_client=2,
+    scenarios=4,
+    zipf_s=1.1,
+    seed=2025,
+    num_cpus=2,
+    refs_total=2000,
+    workers=0,  # thread-pool execution: cheap and deterministic
+    connection_limit=64,
+)
+
+
+class TestLoadSmoke:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("load-store")
+        return run_loadtest(SMOKE, cache_dir=cache_dir)
+
+    def test_all_checks_pass(self, report):
+        assert report.ok, format_load_report(report)
+
+    def test_every_client_request_answered(self, report):
+        assert report.total_requests == SMOKE.clients * SMOKE.requests_per_client
+
+    def test_exactly_one_execution_per_distinct_key(self, report):
+        assert report.stats["delta"]["executed"] == report.distinct_keys
+        assert report.stats["delta"]["errors"] == 0
+
+    def test_conservation_of_request_accounting(self, report):
+        delta = report.stats["delta"]
+        hits = delta["memo_hits"] + delta["disk_hits"]
+        misses = delta["coalesced"] + delta["executed"]
+        assert hits + misses == delta["requests"] == report.total_requests
+
+    def test_latency_split_covers_every_request(self, report):
+        assert (
+            sum(len(samples) for samples in report.latency.values())
+            == report.total_requests
+        )
+
+    def test_report_renders_and_round_trips(self, report):
+        text = format_load_report(report)
+        assert "OK: dedup" in text
+        assert "VIOLATION" not in text
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["clients"] == SMOKE.clients
+        assert len(payload["checks"]) >= 4
+
+
+class TestRequestPool:
+    def test_pool_is_deterministic_and_multi_aware(self):
+        pool = build_request_pool(SMOKE)
+        again = build_request_pool(SMOKE)
+        assert [r.cache_key for _, _, r in pool] == [
+            r.cache_key for _, _, r in again
+        ]
+        names = {name for name, _, _ in pool}
+        assert any(name.startswith("multi:") for name in names)
+        distinct = {r.cache_key for _, _, r in pool}
+        assert len(distinct) == len(pool)
+
+    def test_warm_rerun_is_all_hits(self, tmp_path):
+        settings = LoadTestSettings(
+            clients=20,
+            requests_per_client=2,
+            scenarios=2,
+            num_cpus=2,
+            refs_total=1500,
+            workers=0,
+            connection_limit=32,
+            include_multi=False,
+            verify_identity=False,
+        )
+        cold = run_loadtest(settings, cache_dir=tmp_path)
+        assert cold.ok, format_load_report(cold)
+        warm = run_loadtest(
+            replace_expect(settings, "warm"), cache_dir=tmp_path
+        )
+        assert warm.ok, format_load_report(warm)
+        assert warm.stats["delta"]["executed"] == 0
+
+
+def replace_expect(settings: LoadTestSettings, expect: str) -> LoadTestSettings:
+    import dataclasses
+
+    return dataclasses.replace(settings, expect=expect)

@@ -467,3 +467,78 @@ class TestPruneFailureAccounting:
         (tmp_path / "torn.json").write_text("{")
         assert store.load(tmp_path / "torn.json") is None
         assert store.decode_error_misses == 1
+
+
+class TestBatchPlanning:
+    """The planning/transport split behind run_batch and repro.serve."""
+
+    def test_plan_classifies_every_source(self, tmp_path):
+        from repro.api.session import (
+            PLAN_DEDUP,
+            PLAN_DISK,
+            PLAN_MEMO,
+            PLAN_PENDING,
+        )
+
+        seed = tiny_request(protocol="software")
+        Session(cache_dir=tmp_path).run(seed)  # populate the disk store
+
+        session = Session(cache_dir=tmp_path)
+        memoized = tiny_request(protocol="ideal")
+        session.run(memoized)
+        cold = tiny_request(protocol="hatric")
+        plan = session.plan_batch([memoized, cold, cold, seed])
+        assert plan.sources == [PLAN_MEMO, PLAN_PENDING, PLAN_DEDUP, PLAN_DISK]
+        assert plan.keys == [
+            memoized.cache_key,
+            cold.cache_key,
+            cold.cache_key,
+            seed.cache_key,
+        ]
+        assert list(plan.pending) == [cold.cache_key]
+        # planning already settled the stats for the resolved items
+        assert session.stats.memo_hits == 1
+        assert session.stats.deduplicated == 1
+        assert session.stats.disk_hits == 1
+
+    def test_collect_requires_execution_of_pending(self):
+        session = Session()
+        request = tiny_request()
+        plan = session.plan_batch([request])
+        with pytest.raises(KeyError):
+            session.collect(plan)
+        session.store_result(
+            request.cache_key, execute_request(request)
+        )
+        (result,) = session.collect(plan)
+        assert session.peek(request.cache_key) is result
+        assert session.stats.executed == 1
+
+    def test_store_result_persists_to_disk(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        request = tiny_request()
+        session.store_result(request.cache_key, execute_request(request))
+        assert ResultCache(tmp_path).get(request.cache_key) is not None
+        # a fresh session answers from disk, not execution
+        counting = CountingExecutor()
+        reader = Session(cache_dir=tmp_path, executor=counting)
+        reader.run(tiny_request())
+        assert not counting.per_key
+
+    def test_run_batch_equals_plan_then_collect(self):
+        requests = [
+            tiny_request(protocol="software"),
+            tiny_request(protocol="hatric"),
+            tiny_request(protocol="software"),
+        ]
+        direct = Session().run_batch([r for r in requests])
+
+        session = Session()
+        plan = session.plan_batch(requests)
+        for key, request in plan.pending.items():
+            session.store_result(key, execute_request(request))
+        manual = session.collect(plan)
+        assert [r.runtime_cycles for r in manual] == [
+            r.runtime_cycles for r in direct
+        ]
+        assert manual[0] is manual[2]

@@ -365,7 +365,27 @@ class TestCacheCli:
         out = capsys.readouterr().out
         assert f"result entries: {good + 2}" in out
 
+        # the default --min-age (one hour) protects freshly-written
+        # entries: a prune racing a live server deletes nothing young
         assert main(["cache", "--cache-dir", str(tmp_path), "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 stale" in out
+        assert (tmp_path / "stale.json").exists()
+        assert (tmp_path / "torn.json").exists()
+
+        assert (
+            main(
+                [
+                    "cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "prune",
+                    "--min-age",
+                    "0",
+                ]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "removed 2 stale" in out
         assert not (tmp_path / "stale.json").exists()

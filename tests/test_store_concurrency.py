@@ -1,0 +1,260 @@
+"""Multi-writer hardening tests for the result and checkpoint stores.
+
+The serve layer points many processes at one store directory, so the
+stores must tolerate concurrent writers (atomic write-then-rename means
+readers never observe torn JSON) and maintenance must tolerate live
+servers (prune's ``min_age_seconds`` scopes deletion to old entries).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.api.cache import (
+    DEFAULT_PRUNE_MIN_AGE_SECONDS,
+    TMP_GRACE_SECONDS,
+    ResultCache,
+    file_age_at_least,
+)
+from repro.api.checkpoint import CheckpointStore, checkpoint_family_key
+from repro.api.request import RunRequest
+from repro.api.session import execute_request, execute_request_checkpointed
+from repro.experiments.runner import baseline_config
+from repro.sim.engine import diff_fingerprints, result_fingerprint
+
+WORKLOAD = "syn:steady/seed=3"
+SHARED_KEYS = tuple(f"shared-{i}" for i in range(4))
+
+
+def tiny_request(**overrides) -> RunRequest:
+    defaults = dict(
+        config=baseline_config(num_cpus=2, protocol="hatric"),
+        workload=WORKLOAD,
+        refs_total=1500,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+def backdate(path, seconds: float) -> None:
+    """Rewind a file's mtime so age-gated prunes see it as old."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+# ----------------------------------------------------------------------
+# worker entry points (module level: picklable under the spawn context)
+# ----------------------------------------------------------------------
+def _hammer_result_cache(directory: str, worker_id: int, iterations: int):
+    """Interleave puts and gets of shared keys against one directory."""
+    result = execute_request(tiny_request())
+    cache = ResultCache(directory)
+    for key in SHARED_KEYS:
+        cache.put(key, result)
+    empty_reads = 0
+    for step in range(iterations):
+        key = SHARED_KEYS[(worker_id + step) % len(SHARED_KEYS)]
+        cache.put(key, result)
+        read = cache.get(SHARED_KEYS[step % len(SHARED_KEYS)])
+        if read is None:
+            empty_reads += 1
+    return {
+        "decode_errors": cache.decode_error_misses,
+        "stale_schema": cache.stale_schema_misses,
+        "empty_reads": empty_reads,
+    }
+
+
+def _checkpointed_run(directory: str, worker_id: int):
+    """One checkpointed execution; every worker shares the store."""
+    request = tiny_request(
+        refs_total=4000, warmup_refs=0, workload=WORKLOAD
+    )
+    result = execute_request_checkpointed(
+        request, directory, checkpoint_refs=512
+    )
+    return result_fingerprint(result)
+
+
+class TestConcurrentWriters:
+    def test_result_cache_survives_concurrent_writers(self, tmp_path):
+        """N spawn-context processes hammering shared keys: no torn
+        JSON ever surfaces (decode_error_misses == 0 everywhere)."""
+        directory = tmp_path / "results"
+        context = multiprocessing.get_context("spawn")
+        workers = 4
+        with context.Pool(workers) as pool:
+            reports = pool.starmap(
+                _hammer_result_cache,
+                [(str(directory), i, 40) for i in range(workers)],
+            )
+        for report in reports:
+            assert report["decode_errors"] == 0
+            assert report["stale_schema"] == 0
+            assert report["empty_reads"] == 0
+        # the surviving files are whole and bit-identical to a direct run
+        cache = ResultCache(directory)
+        expected = result_fingerprint(execute_request(tiny_request()))
+        for key in SHARED_KEYS:
+            stored = cache.get(key)
+            assert stored is not None
+            assert not diff_fingerprints(
+                expected, result_fingerprint(stored)
+            )
+        assert cache.decode_error_misses == 0
+
+    def test_checkpoint_store_survives_concurrent_writers(self, tmp_path):
+        """Concurrent checkpointed runs of one family write the same
+        snapshot paths; every surviving entry must load cleanly."""
+        directory = tmp_path / "checkpoints"
+        context = multiprocessing.get_context("spawn")
+        workers = 3
+        with context.Pool(workers) as pool:
+            fingerprints = pool.starmap(
+                _checkpointed_run,
+                [(str(directory), i) for i in range(workers)],
+            )
+        # all workers computed bit-identical results
+        for fingerprint in fingerprints[1:]:
+            assert not diff_fingerprints(fingerprints[0], fingerprint)
+        store = CheckpointStore(directory)
+        family = checkpoint_family_key(
+            tiny_request(refs_total=4000, warmup_refs=0)
+        )
+        candidates = store.candidates(family)
+        assert candidates, "expected checkpoints to be saved"
+        for _, path in candidates:
+            assert store.load(path) is not None
+        assert store.decode_error_misses == 0
+        # no abandoned tmp files linger after clean exits
+        assert not list(directory.glob("*.tmp"))
+
+
+class TestPruneAgeGating:
+    """Prune racing a live server must not delete fresh writes."""
+
+    def _plant_stale(self, directory, name="stale.json"):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / name
+        path.write_text('{"type": "simulation", "schema": -1}')
+        return path
+
+    def test_young_stale_entry_is_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = self._plant_stale(tmp_path)
+        stats = cache.prune(min_age_seconds=DEFAULT_PRUNE_MIN_AGE_SECONDS)
+        assert stats.removed == 0
+        assert stats.kept == 1
+        assert path.exists()
+
+    def test_old_stale_entry_is_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = self._plant_stale(tmp_path)
+        backdate(path, DEFAULT_PRUNE_MIN_AGE_SECONDS + 60)
+        stats = cache.prune(min_age_seconds=DEFAULT_PRUNE_MIN_AGE_SECONDS)
+        assert stats.removed == 1
+        assert not path.exists()
+
+    def test_young_tmp_file_is_never_touched(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tmp = tmp_path / "inflight.json.tmp"
+        tmp_path.mkdir(exist_ok=True)
+        tmp.write_text("half-written")
+        # even an age-0 prune leaves tmp files inside the grace window:
+        # they may belong to a live write_text_atomic call
+        stats = cache.prune(min_age_seconds=0.0)
+        assert stats.removed == 0
+        assert tmp.exists()
+
+    def test_old_tmp_file_is_swept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tmp = tmp_path / "abandoned.json.tmp"
+        tmp_path.mkdir(exist_ok=True)
+        tmp.write_text("crashed writer leftovers")
+        backdate(tmp, TMP_GRACE_SECONDS + 60)
+        stats = cache.prune(min_age_seconds=0.0)
+        assert stats.removed == 1
+        assert not tmp.exists()
+
+    def test_healthy_entry_survives_any_min_age(self, tmp_path):
+        request = tiny_request()
+        cache = ResultCache(tmp_path)
+        cache.put(request.cache_key, execute_request(request))
+        backdate(cache.path_for(request.cache_key), 10_000)
+        stats = cache.prune(min_age_seconds=0.0)
+        assert stats.removed == 0
+        assert stats.kept == 1
+        assert cache.get(request.cache_key) is not None
+
+    def test_checkpoint_surplus_is_age_gated(self, tmp_path):
+        """keep_per_family trimming also refuses to delete young files:
+        a surplus entry may be another server's in-flight ladder."""
+        directory = tmp_path / "checkpoints"
+        request = tiny_request(refs_total=4000, warmup_refs=0)
+        execute_request_checkpointed(
+            request, str(directory), checkpoint_refs=512
+        )
+        store = CheckpointStore(directory)
+        family = checkpoint_family_key(request)
+        total = len(store.candidates(family))
+        assert total > 2
+        # young surplus: kept despite exceeding keep_per_family
+        stats = store.prune(keep_per_family=1, min_age_seconds=3600.0)
+        assert stats.removed == 0
+        assert len(store.candidates(family)) == total
+        # once old, the same surplus goes
+        for _, path in store.candidates(family):
+            backdate(path, 7200)
+        stats = store.prune(keep_per_family=1, min_age_seconds=3600.0)
+        assert stats.removed == total - 1
+        assert len(store.candidates(family)) == 1
+
+    def test_checkpoint_stale_entry_is_age_gated(self, tmp_path):
+        directory = tmp_path / "checkpoints"
+        directory.mkdir(parents=True)
+        store = CheckpointStore(directory)
+        stale = directory / f"{'cd' * 32}-{2000:012d}.json"
+        stale.write_text(json.dumps({"cache_schema": -1}))
+        stats = store.prune(min_age_seconds=3600.0)
+        assert stats.removed == 0
+        assert stale.exists()
+        backdate(stale, 7200)
+        stats = store.prune(min_age_seconds=3600.0)
+        assert stats.removed == 1
+        assert not stale.exists()
+
+    def test_file_age_helper_handles_vanished_files(self, tmp_path):
+        assert (
+            file_age_at_least(tmp_path / "gone.json", time.time(), 0.0)
+            is None
+        )
+        present = tmp_path / "here.json"
+        present.write_text("{}")
+        assert file_age_at_least(present, time.time(), 0.0) is True
+        assert (
+            file_age_at_least(present, time.time(), 3600.0) is False
+        )
+
+    def test_session_prune_threads_min_age(self, tmp_path):
+        """Session.prune forwards the cutoff to both stores."""
+        from repro.api.checkpoint import CHECKPOINT_SUBDIR
+        from repro.api.session import Session
+
+        session = Session(cache_dir=tmp_path / "results", checkpoints=True)
+        self._plant_stale(tmp_path / "results")
+        ckpt_dir = tmp_path / "results" / CHECKPOINT_SUBDIR
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        stale_ckpt = ckpt_dir / f"{'ef' * 32}-{1000:012d}.json"
+        stale_ckpt.write_text(json.dumps({"cache_schema": -1}))
+        report = session.prune(min_age_seconds=3600.0)
+        assert (tmp_path / "results" / "stale.json").exists()
+        assert stale_ckpt.exists()
+        report = session.prune(min_age_seconds=0.0)
+        assert not (tmp_path / "results" / "stale.json").exists()
+        assert not stale_ckpt.exists()
+        assert report is not None
