@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import logging
 import os
 import tempfile
 import time
@@ -25,6 +24,7 @@ from repro.api.request import (
     config_to_dict,
 )
 from repro.energy.model import EnergyBreakdown
+from repro.obs.log import get_logger
 from repro.sim.remap_anatomy import AnatomyRow
 from repro.sim.simulator import SimulationResult
 from repro.sim.stats import (
@@ -54,7 +54,7 @@ TMP_GRACE_SECONDS = 60.0
 #: stale) to keep library behaviour explicit.
 DEFAULT_PRUNE_MIN_AGE_SECONDS = 3600.0
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 class CacheDecodeError(ValueError):

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import re
 import time
 from pathlib import Path
@@ -36,6 +35,7 @@ from repro.api.cache import (
     write_text_atomic,
 )
 from repro.api.request import CACHE_SCHEMA_VERSION, RunRequest
+from repro.obs.log import get_logger
 from repro.sim.config import config_to_dict
 from repro.sim.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
@@ -54,7 +54,7 @@ PRUNE_KEEP_PER_FAMILY = 8
 
 _FILE_PATTERN = re.compile(r"^(?P<family>[0-9a-f]{64})-(?P<refs>\d{12})\.json$")
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 def checkpoint_family_key(request: RunRequest) -> str:

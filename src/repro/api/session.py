@@ -39,6 +39,8 @@ from repro.api.checkpoint import (
 )
 from repro.api.request import EXPERIMENT_REMAP, RunRequest
 from repro.env import env_int
+from repro.obs.log import get_logger
+from repro.obs.trace import active_tracer
 from repro.sim.engine import (
     ENGINE_FAST,
     ENGINE_REFERENCE,
@@ -58,6 +60,8 @@ from repro.sim.simulator import (
 )
 from repro.sim.snapshot import SnapshotError, restore_run, trace_prefix_digest
 from repro.workloads import make_workload
+
+logger = get_logger(__name__)
 
 #: Environment variable globally enabling process fan-out (worker count).
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -108,13 +112,36 @@ def execute_request(request: RunRequest, on_interval=None) -> AnyResult:
     """
     if request.experiment == EXPERIMENT_REMAP:
         return single_remap_cost(request.config)
+    tracer = active_tracer()
+    start = tracer.now() if tracer else 0.0
     workload = make_workload(request.workload)
     if (
         validate_fastpath_requested()
         and resolve_engine(request.engine or None) != ENGINE_REFERENCE
     ):
-        return _execute_validated(request, workload, on_interval)
+        result = _execute_validated(request, workload, on_interval)
+        if tracer:
+            tracer.complete(
+                "session.execute", "session", start,
+                key=request.cache_key, validated=True,
+            )
+        return result
     simulator = Simulator(request.config, engine=request.engine or None)
+    if tracer:
+        try:
+            return simulator.run(
+                workload,
+                warmup_fraction=request.warmup_fraction,
+                refs_total=request.refs_total,
+                warmup_refs=request.warmup_refs,
+                interval_refs=request.interval_refs,
+                on_interval=on_interval,
+            )
+        finally:
+            tracer.complete(
+                "session.execute", "session", start,
+                key=request.cache_key, engine=simulator.engine,
+            )
     return simulator.run(
         workload,
         warmup_fraction=request.warmup_fraction,
@@ -320,6 +347,9 @@ PLAN_DISK = "disk"
 PLAN_DEDUP = "dedup"
 PLAN_PENDING = "pending"
 
+#: All plan sources, in accounting order (trace spans report one count per source).
+PLAN_SOURCES = (PLAN_MEMO, PLAN_DISK, PLAN_DEDUP, PLAN_PENDING)
+
 
 @dataclass
 class BatchPlan:
@@ -424,6 +454,8 @@ class Session:
         here, at planning time -- execution transports only add
         ``executed`` via :meth:`store_result`.
         """
+        tracer = active_tracer()
+        start = tracer.now() if tracer else 0.0
         plan = BatchPlan()
         requests = list(requests)
         self.stats.requested += len(requests)
@@ -447,6 +479,14 @@ class Session:
                     continue
             plan.pending[key] = request
             plan.sources.append(PLAN_PENDING)
+        if tracer:
+            tracer.complete(
+                "session.plan_batch",
+                "session",
+                start,
+                requests=len(requests),
+                **{source: plan.sources.count(source) for source in PLAN_SOURCES},
+            )
         return plan
 
     def peek(self, key: str) -> Optional[AnyResult]:
@@ -459,13 +499,26 @@ class Session:
         The transport half of :meth:`plan_batch`: memoizes, counts one
         execution, and persists to the disk cache when configured.
         """
+        tracer = active_tracer()
+        start = tracer.now() if tracer else 0.0
         self._memo[key] = result
         self.stats.executed += 1
         if self.disk_cache is not None:
             self.disk_cache.put(key, result)
+        if tracer:
+            tracer.complete(
+                "session.store_result",
+                "session",
+                start,
+                key=key,
+                persisted=self.disk_cache is not None,
+            )
 
     def collect(self, plan: BatchPlan) -> list[AnyResult]:
         """Results for a fully-executed plan, aligned with its input order."""
+        tracer = active_tracer()
+        if tracer:
+            tracer.instant("session.collect", "session", results=len(plan.keys))
         return [self._memo[key] for key in plan.keys]
 
     def run_batch(self, requests: Sequence[RunRequest]) -> list[AnyResult]:
@@ -488,6 +541,8 @@ class Session:
             and self.max_workers > 1
             and len(todo) > 1
         )
+        tracer = active_tracer()
+        start = tracer.now() if tracer else 0.0
         if self.checkpoint_store is not None:
             results = self._execute_checkpointed(todo, parallel)
         elif parallel:
@@ -495,6 +550,14 @@ class Session:
                 results = list(pool.map(self.executor, todo))
         else:
             results = [self.executor(request) for request in todo]
+        if tracer:
+            tracer.complete(
+                "session.execute_pending",
+                "session",
+                start,
+                pending=len(todo),
+                parallel=parallel,
+            )
         for key, result in zip(keys, results):
             self.store_result(key, result)
 
@@ -663,6 +726,11 @@ def default_session() -> Session:
     if _DEFAULT_SESSION is None:
         jobs = env_int(JOBS_ENV_VAR, None, minimum=1)
         cache_dir = os.environ.get(CACHE_DIR_ENV_VAR)
+        logger.debug(
+            "default session: jobs=%s cache_dir=%s",
+            jobs if jobs is not None else "serial (REPRO_JOBS unset)",
+            cache_dir or "off (REPRO_CACHE_DIR unset)",
+        )
         _DEFAULT_SESSION = Session(
             cache_dir=cache_dir or None,
             max_workers=jobs,

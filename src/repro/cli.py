@@ -251,6 +251,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scenario_parser(subparsers, common)
     _add_hunt_parser(subparsers, common)
     _add_timeline_parser(subparsers, common)
+    _add_profile_parser(subparsers, common)
+    _add_run_parser(subparsers, common)
+    _add_trace_parser(subparsers)
     _add_fleet_parser(subparsers, common)
     _add_cache_parser(subparsers)
     _add_bench_parser(subparsers)
@@ -742,11 +745,21 @@ def _add_timeline_parser(subparsers, common: argparse.ArgumentParser) -> None:
         metavar="N",
         help="approximate number of telemetry intervals (default 16)",
     )
+    timeline.add_argument(
+        "--chart",
+        action="store_true",
+        help="render compact ASCII activity sparklines instead of "
+        "per-interval tables",
+    )
 
 
 def _run_timeline(args: argparse.Namespace) -> tuple[str, int]:
     from repro.experiments.output import experiment_output
-    from repro.experiments.timeline import format_timeline, run_timeline
+    from repro.experiments.timeline import (
+        format_timeline,
+        format_timeline_chart,
+        run_timeline,
+    )
 
     result = run_timeline(
         workload=args.workload,
@@ -759,9 +772,278 @@ def _run_timeline(args: argparse.Namespace) -> tuple[str, int]:
         scale=_scale_from_args(args),
         session=_session_from_args(args),
     )
+    renderer = format_timeline_chart if args.chart else format_timeline
     return experiment_output(
-        args.json, result.to_dict, lambda: format_timeline(result)
+        args.json, result.to_dict, lambda: renderer(result)
     )
+
+
+def _add_profile_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    from repro.experiments.timeline import (
+        DEFAULT_TIMELINE_REFS,
+        DEFAULT_TIMELINE_VCPUS,
+        DEFAULT_TIMELINE_WORKLOAD,
+        TIMELINE_PROTOCOLS,
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        parents=[common],
+        help="per-component cycle/energy attribution report",
+        description=(
+            "Run one workload under several protocols and report where "
+            "the cycles and energy went: exact measured splits "
+            "(translate+memory vs translation coherence vs background "
+            "paging daemon), modeled attribution within them (events x "
+            "cost model: shootdown initiator/target, directory traffic, "
+            "co-tag CAM searches, page copies), the energy model's "
+            "per-structure breakdown, per-VM splits for multi: "
+            "workloads, and a coherence activity sparkline.  Shares "
+            "request shapes (and hence cached results) with timeline."
+        ),
+    )
+    profile.add_argument(
+        "--workload",
+        default=DEFAULT_TIMELINE_WORKLOAD,
+        metavar="NAME",
+        help=f"workload to profile (default {DEFAULT_TIMELINE_WORKLOAD!r}; "
+        f"suite, mixNN, syn:, multi: and prefix: names all work)",
+    )
+    profile.add_argument(
+        "--protocols",
+        default=",".join(TIMELINE_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=f"protocols to compare (default: {','.join(TIMELINE_PROTOCOLS)})",
+    )
+    profile.add_argument(
+        "--num-cpus",
+        type=int,
+        default=DEFAULT_TIMELINE_VCPUS,
+        metavar="N",
+        help=f"vCPU count (default {DEFAULT_TIMELINE_VCPUS})",
+    )
+    profile.add_argument(
+        "--refs",
+        type=int,
+        default=DEFAULT_TIMELINE_REFS,
+        metavar="N",
+        help=f"total references (default {DEFAULT_TIMELINE_REFS})",
+    )
+    profile.add_argument(
+        "--intervals",
+        type=int,
+        default=16,
+        metavar="N",
+        help="approximate number of telemetry intervals (default 16)",
+    )
+
+
+def _run_profile(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.experiments.output import experiment_output
+    from repro.experiments.profile import format_profile, run_profile
+
+    result = run_profile(
+        workload=args.workload,
+        protocols=tuple(
+            p.strip() for p in args.protocols.split(",") if p.strip()
+        ),
+        num_cpus=args.num_cpus,
+        refs_total=args.refs,
+        intervals=args.intervals,
+        scale=_scale_from_args(args),
+        session=_session_from_args(args),
+    )
+    return experiment_output(
+        args.json, result.to_dict, lambda: format_profile(result)
+    )
+
+
+def _add_run_parser(subparsers, common: argparse.ArgumentParser) -> None:
+    run = subparsers.add_parser(
+        "run",
+        parents=[common],
+        help="run one workload/protocol and print its summary",
+        description=(
+            "Execute a single simulation through the session (so the "
+            "result caches like any other request) and print its "
+            "headline measurements plus a fingerprint digest over "
+            "everything the run measured.  With REPRO_TRACE set, the "
+            "run emits session-planning and simulator-interval spans; "
+            "the printed digest is bit-identical with tracing on or "
+            "off."
+        ),
+    )
+    run.add_argument(
+        "--workload",
+        default="syn:migration-daemon/addr=zipf/seed=7",
+        metavar="NAME",
+        help="workload to run (default 'syn:migration-daemon/addr=zipf/"
+        "seed=7'; suite, mixNN, syn:, multi: and prefix: names all work)",
+    )
+    run.add_argument(
+        "--protocol",
+        default="hatric",
+        metavar="P",
+        help="translation coherence protocol (default hatric)",
+    )
+    run.add_argument(
+        "--engine",
+        default=None,
+        metavar="E",
+        help="execution engine (reference, fast, soa; default: "
+        "REPRO_SIM_ENGINE or fast)",
+    )
+    run.add_argument(
+        "--num-cpus",
+        type=int,
+        default=8,
+        metavar="N",
+        help="vCPU count (default 8)",
+    )
+    run.add_argument(
+        "--refs",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="total references (default 20000)",
+    )
+    run.add_argument(
+        "--intervals",
+        type=int,
+        default=0,
+        metavar="N",
+        help="emit interval telemetry in approximately N windows "
+        "(default 0: no intervals)",
+    )
+
+
+def _run_run(args: argparse.Namespace) -> tuple[str, int]:
+    import hashlib
+
+    from repro.api.request import RunRequest
+    from repro.experiments.output import experiment_output
+    from repro.experiments.runner import baseline_config
+    from repro.sim.engine import result_fingerprint
+
+    session = _session_from_args(args)
+    interval_refs = (
+        max(256, args.refs // args.intervals) if args.intervals > 0 else None
+    )
+    request = RunRequest(
+        config=baseline_config(num_cpus=args.num_cpus, protocol=args.protocol),
+        workload=args.workload,
+        refs_total=args.refs,
+        interval_refs=interval_refs,
+        engine=args.engine or "",
+    )
+    result = session.run(request)
+    fingerprint = result_fingerprint(result)
+    digest = hashlib.sha256(
+        json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+    def payload() -> dict:
+        return {
+            "workload": args.workload,
+            "protocol": args.protocol,
+            "key": request.cache_key,
+            "runtime_cycles": result.runtime_cycles,
+            "coherence_cycles": result.coherence_cycles,
+            "background_cycles": result.stats.background_cycles,
+            "instructions": result.stats.total_instructions,
+            "energy": result.energy_total,
+            "intervals": len(result.intervals),
+            "fingerprint_sha256": digest,
+        }
+
+    def table() -> str:
+        lines = [
+            f"run: {args.workload} protocol={args.protocol} "
+            f"cpus={args.num_cpus} refs={args.refs}",
+            f"  runtime cycles:    {result.runtime_cycles}",
+            f"  coherence cycles:  {result.coherence_cycles}",
+            f"  background cycles: {result.stats.background_cycles}",
+            f"  instructions:      {result.stats.total_instructions}",
+            f"  energy:            {result.energy_total:.1f}",
+            f"  intervals:         {len(result.intervals)}",
+            f"  fingerprint:       sha256:{digest}",
+            _session_footer(session),
+        ]
+        return "\n".join(lines)
+
+    return experiment_output(args.json, payload, table)
+
+
+def _add_trace_parser(subparsers) -> None:
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect and export REPRO_TRACE output",
+        description=(
+            "Work with the JSONL trace files written when REPRO_TRACE "
+            "is set: validate and convert them to a Chrome trace_event "
+            "JSON file (loadable in chrome://tracing or Perfetto), or "
+            "summarize span counts and total durations."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="validate a JSONL trace and write a Chrome trace file",
+        description=(
+            "Validate every event of a JSONL trace and write the "
+            "{'traceEvents': [...]} JSON object format that "
+            "chrome://tracing and Perfetto load directly."
+        ),
+    )
+    export.add_argument(
+        "trace_file", metavar="TRACE", help="JSONL trace written via REPRO_TRACE"
+    )
+    export.add_argument(
+        "chrome_file", metavar="OUT", help="Chrome trace JSON file to write"
+    )
+    summary = trace_sub.add_parser(
+        "summary",
+        help="per-span event counts and total durations",
+        description=(
+            "Validate a JSONL trace and print one row per span/event "
+            "name with its occurrence count and summed duration."
+        ),
+    )
+    summary.add_argument(
+        "trace_file", metavar="TRACE", help="JSONL trace written via REPRO_TRACE"
+    )
+
+
+def _run_trace(args: argparse.Namespace) -> tuple[str, int]:
+    from repro.obs.trace import (
+        export_chrome,
+        load_events,
+        summarize_events,
+        validate_events,
+    )
+
+    try:
+        if args.trace_command == "export":
+            count = export_chrome(args.trace_file, args.chrome_file)
+            return (
+                f"wrote {args.chrome_file}: {count} events "
+                f"(Chrome trace_event format)",
+                0,
+            )
+        # trace_command == "summary"
+        events = load_events(args.trace_file)
+    except OSError as error:
+        raise ValueError(error) from error
+    validate_events(events)
+    summary = summarize_events(events)
+    lines = [f"trace: {args.trace_file} ({summary['events']} events)"]
+    width = max((len(name) for name in summary["names"]), default=0)
+    for name, entry in summary["names"].items():
+        lines.append(
+            f"  {name:<{width}}  count={entry['count']:<6} "
+            f"total={entry['total_us']}us"
+        )
+    return "\n".join(lines), 0
 
 
 def _add_cache_parser(subparsers) -> None:
@@ -815,15 +1097,17 @@ def _run_cache(args: argparse.Namespace) -> tuple[str, int]:
     results = session.disk_cache
     checkpoints = session.checkpoint_store
     if args.cache_command == "info":
-        fleet = results.fleet_traffic()
-        lines = [
-            f"cache directory: {results.directory}",
-            f"result entries: {len(results)}",
-            f"checkpoints: {len(checkpoints)}",
-            f"fleet entries: {fleet['entries']}",
-            f"fleet snapshot traffic: {fleet['captures']} captures, "
-            f"{fleet['restores']} restores, {fleet['bytes']} bytes",
-        ]
+        # The same canonical metric names the serve layer exports on
+        # /stats and /metrics, so counters never drift between surfaces.
+        from repro.obs.metrics import STORE_METRIC_HELP, store_snapshot
+
+        snapshot = store_snapshot(results, checkpoints)
+        lines = [f"cache directory: {results.directory}"]
+        width = max(len(name) for name in STORE_METRIC_HELP)
+        for name, help_text in STORE_METRIC_HELP.items():
+            lines.append(
+                f"  {name:<{width}}  {snapshot[name]:<10}  {help_text}"
+            )
         return "\n".join(lines), 0
     # cache_command == "prune"
     pruned = session.prune(min_age_seconds=args.min_age)
@@ -1536,6 +1820,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "timeline":
             text, code = _run_timeline(args)
             _emit(text, args.output)
+            return code
+        if args.command == "profile":
+            text, code = _run_profile(args)
+            _emit(text, args.output)
+            return code
+        if args.command == "run":
+            text, code = _run_run(args)
+            _emit(text, args.output)
+            return code
+        if args.command == "trace":
+            text, code = _run_trace(args)
+            _emit(text, None)
             return code
         if args.command == "fleet":
             text, code = _run_fleet(args)

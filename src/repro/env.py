@@ -75,3 +75,26 @@ def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
             f"invalid {name}={raw!r}; valid values: {known}"
         )
     return raw
+
+
+def env_path(
+    name: str,
+    default: Optional[str],
+    *,
+    suffixes: Optional[Sequence[str]] = None,
+) -> Optional[str]:
+    """Parse ``name`` as a filesystem path, loudly.
+
+    ``suffixes`` guards against boolean-style typos: a variable meant to
+    hold a file path (``REPRO_TRACE=out.jsonl``) set to ``1`` or ``on``
+    must crash, not create a file literally named ``1``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    if suffixes and not any(raw.endswith(suffix) for suffix in suffixes):
+        accepted = ", ".join(suffixes)
+        raise ValueError(
+            f"invalid {name}={raw!r}; expected a file path ending in one of: {accepted}"
+        )
+    return raw

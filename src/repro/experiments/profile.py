@@ -1,0 +1,258 @@
+"""Per-component profiling report: ``python -m repro profile``.
+
+Runs one workload under several protocols with interval telemetry and
+renders where the cycles went: exact measured splits (translate+memory
+vs translation coherence vs background paging daemon), modeled
+attribution *within* those buckets (events multiplied by the
+:class:`~repro.sim.costs.CostModel` -- shootdown initiator/target,
+directory traffic, CAM searches, page copies), the energy model's exact
+per-structure breakdown, per-VM splits for consolidated workloads, and
+an ASCII activity sparkline per protocol.
+
+The attribution math lives in :mod:`repro.obs.profile`; this module
+only drives runs through the shared session and renders tables, exactly
+like :mod:`repro.experiments.timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.api.scale import ExperimentScale
+from repro.api.session import Session
+from repro.experiments.output import render_table
+from repro.experiments.timeline import (
+    DEFAULT_TIMELINE_REFS,
+    DEFAULT_TIMELINE_VCPUS,
+    DEFAULT_TIMELINE_WORKLOAD,
+    TIMELINE_PROTOCOLS,
+    TimelineResult,
+    run_timeline,
+)
+from repro.obs.profile import (
+    AttributionRow,
+    cycle_attribution,
+    energy_components,
+    interval_series,
+    sparkline,
+)
+from repro.sim.simulator import SimulationResult
+
+#: How many energy components the table shows before folding the tail
+#: into an "other" row.
+ENERGY_COMPONENT_LIMIT = 8
+
+#: Sparkline width of the per-protocol activity row.
+ACTIVITY_WIDTH = 48
+
+
+@dataclass
+class ProfileResult:
+    """A profile study: the underlying timeline plus attribution rows."""
+
+    timeline: TimelineResult
+    protocols: tuple[str, ...] = ()
+    attributions: dict[str, list[AttributionRow]] = field(default_factory=dict)
+
+    def result_for(self, protocol: str) -> SimulationResult:
+        return self.timeline.series_for(protocol).result
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible payload (the CLI's ``--json`` output)."""
+        payload = {
+            "workload": self.timeline.workload,
+            "refs_total": self.timeline.refs_total,
+            "interval_refs": self.timeline.interval_refs,
+            "num_cpus": self.timeline.num_cpus,
+            "protocols": {},
+        }
+        for protocol in self.protocols:
+            result = self.result_for(protocol)
+            payload["protocols"][protocol] = {
+                "runtime_cycles": result.runtime_cycles,
+                "coherence_cycles": result.coherence_cycles,
+                "background_cycles": result.stats.background_cycles,
+                "instructions": result.stats.total_instructions,
+                "energy": result.energy_total,
+                "attribution": [
+                    {
+                        "component": row.component,
+                        "cycles": row.cycles,
+                        "basis": row.basis,
+                    }
+                    for row in self.attributions[protocol]
+                ],
+                "energy_components": [
+                    {"component": name, "joules": value, "share": share}
+                    for name, value, share in energy_components(
+                        result.energy.components
+                    )
+                ],
+                "per_vm": [
+                    dict(summary) for summary in result.per_vm_summary()
+                ],
+            }
+        return payload
+
+
+def run_profile(
+    workload: str = DEFAULT_TIMELINE_WORKLOAD,
+    protocols: Sequence[str] = TIMELINE_PROTOCOLS,
+    num_cpus: int = DEFAULT_TIMELINE_VCPUS,
+    refs_total: Optional[int] = DEFAULT_TIMELINE_REFS,
+    intervals: int = 16,
+    scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
+    **config_overrides: Any,
+) -> ProfileResult:
+    """Run (or recall) the profile study for one workload.
+
+    Identical request shape to :func:`~repro.experiments.timeline.
+    run_timeline` -- a timeline and a profile of the same workload share
+    cached results.
+    """
+    timeline = run_timeline(
+        workload=workload,
+        protocols=protocols,
+        num_cpus=num_cpus,
+        refs_total=refs_total,
+        intervals=intervals,
+        scale=scale,
+        session=session,
+        **config_overrides,
+    )
+    attributions = {}
+    for protocol in protocols:
+        result = timeline.series_for(protocol).result
+        stats = result.stats
+        attributions[protocol] = cycle_attribution(
+            dict(stats.events),
+            busy_cycles=sum(cpu.busy_cycles for cpu in stats.cpus),
+            coherence_cycles=sum(cpu.coherence_cycles for cpu in stats.cpus),
+            background_cycles=stats.background_cycles,
+            costs=result.config.costs,
+        )
+    return ProfileResult(
+        timeline=timeline,
+        protocols=tuple(protocols),
+        attributions=attributions,
+    )
+
+
+def _share(cycles: float, total: float) -> str:
+    return f"{(cycles / total * 100.0):.1f}%" if total else "-"
+
+
+def format_profile(profile: ProfileResult) -> str:
+    """Render the profile as per-protocol attribution + energy tables."""
+    timeline = profile.timeline
+    lines = [
+        f"profile: {timeline.workload}",
+        f"  refs={timeline.refs_total} interval={timeline.interval_refs} "
+        f"cpus={timeline.num_cpus}",
+    ]
+    activity_peak = max(
+        (
+            value
+            for protocol in profile.protocols
+            for value in interval_series(
+                profile.timeline.series_for(protocol).samples,
+                "coherence_cycles",
+            )
+        ),
+        default=0.0,
+    )
+    for protocol in profile.protocols:
+        result = profile.result_for(protocol)
+        stats = result.stats
+        busy = sum(cpu.busy_cycles for cpu in stats.cpus)
+        background = stats.background_cycles
+        lines.append("")
+        lines.append(
+            f"{protocol}: runtime={result.runtime_cycles} "
+            f"busy={busy} background={background} "
+            f"energy={result.energy_total:.0f}"
+        )
+
+        rows = []
+        for row in profile.attributions[protocol]:
+            total = background if "daemon" in row.component and row.depth == 0 else busy
+            rows.append(
+                [
+                    ("  " * row.depth) + row.component,
+                    int(row.cycles),
+                    _share(row.cycles, busy if row.depth else total),
+                    row.basis,
+                ]
+            )
+        table = render_table(
+            ["component", "cycles", "share", "basis"],
+            rows,
+            aligns=["left", "right", "right", "left"],
+        )
+        lines.extend(f"  {line}".rstrip() for line in table.splitlines())
+
+        components = energy_components(result.energy.components)
+        shown = components[:ENERGY_COMPONENT_LIMIT]
+        folded = components[ENERGY_COMPONENT_LIMIT:]
+        energy_rows = [
+            [name, f"{value:.3f}", f"{share * 100.0:.1f}%"]
+            for name, value, share in shown
+        ]
+        if folded:
+            other = sum(value for _, value, _ in folded)
+            other_share = sum(share for _, _, share in folded)
+            energy_rows.append(
+                ["other", f"{other:.3f}", f"{other_share * 100.0:.1f}%"]
+            )
+        lines.append("")
+        table = render_table(
+            ["energy component", "joules", "share"],
+            energy_rows,
+            aligns=["left", "right", "right"],
+        )
+        lines.extend(f"  {line}".rstrip() for line in table.splitlines())
+
+        summaries = result.per_vm_summary()
+        if len(summaries) > 1:
+            vm_rows = [
+                [
+                    summary["vm"],
+                    summary["busy_cycles"],
+                    summary["coherence_cycles"],
+                    summary["instructions"],
+                ]
+                for summary in summaries
+            ]
+            lines.append("")
+            table = render_table(
+                ["vm", "busy", "coherence", "instructions"],
+                vm_rows,
+                aligns=["left", "right", "right", "right"],
+            )
+            lines.extend(f"  {line}".rstrip() for line in table.splitlines())
+
+        activity = interval_series(
+            profile.timeline.series_for(protocol).samples, "coherence_cycles"
+        )
+        if activity:
+            row = sparkline(
+                activity,
+                min(ACTIVITY_WIDTH, len(activity)),
+                peak=activity_peak,
+            )
+            lines.append(f"  coherence activity |{row}|")
+    lines.append("")
+    lines.append(
+        "  basis: measured rows are exact simulator charges; modeled rows "
+        "attribute within them (events x cost model) and may overlap."
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ProfileResult",
+    "format_profile",
+    "run_profile",
+]

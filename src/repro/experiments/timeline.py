@@ -26,6 +26,7 @@ from repro.api.scale import ExperimentScale
 from repro.api.session import Session, default_session
 from repro.experiments.output import render_table
 from repro.experiments.runner import baseline_config
+from repro.obs.profile import interval_series, sparkline
 from repro.sim.simulator import SimulationResult
 from repro.sim.stats import IntervalSample
 from repro.workloads import make_workload
@@ -235,7 +236,72 @@ def format_timeline(timeline: TimelineResult) -> str:
     return "\n".join(lines)
 
 
+#: Series charted by ``timeline --chart``: (label, IntervalSample field
+#: or event-counter name) pairs, one sparkline row each.
+CHART_SERIES = (
+    ("coherence", "coherence_cycles"),
+    ("shootdowns", "coherence.ipis"),
+    ("invalidations", "hatric.invalidation_messages"),
+    ("remaps", _REMAP_EVENT),
+)
+
+#: Sparkline width for ``timeline --chart`` (interval series are
+#: resampled by bucket-maximum when they are longer than this).
+CHART_WIDTH = 64
+
+
+def format_timeline_chart(timeline: TimelineResult) -> str:
+    """Render a timeline as compact ASCII activity sparklines.
+
+    One block per protocol, one fixed-width sparkline per charted
+    series, each scaled to the *global* peak of that series across
+    protocols -- a software shootdown storm fills the row while
+    HATRIC's stays near-blank.  The ramp is ``' .:-=+*#%@'`` (low to
+    high activity).
+    """
+    lines = [
+        f"timeline: {timeline.workload}",
+        f"  refs={timeline.refs_total} interval={timeline.interval_refs} "
+        f"cpus={timeline.num_cpus}",
+    ]
+    width = min(
+        CHART_WIDTH,
+        max((len(series.samples) for series in timeline.series), default=1),
+    )
+    label_width = max(len(label) for label, _ in CHART_SERIES)
+    peaks = {
+        field_name: max(
+            (
+                value
+                for series in timeline.series
+                for value in interval_series(series.samples, field_name)
+            ),
+            default=0.0,
+        )
+        for _, field_name in CHART_SERIES
+    }
+    for series in timeline.series:
+        result = series.result
+        lines.append("")
+        lines.append(
+            f"{series.protocol}: runtime={result.runtime_cycles} "
+            f"coherence={result.coherence_cycles} "
+            f"energy={result.energy_total:.0f}"
+        )
+        for label, field_name in CHART_SERIES:
+            values = interval_series(series.samples, field_name)
+            row = sparkline(values, width, peak=peaks[field_name])
+            total = int(sum(values))
+            lines.append(
+                f"  {label.rjust(label_width)} |{row}| total={total}"
+            )
+    lines.append("")
+    lines.append(f"  ramp: '{sparkline([i for i in range(1, 11)], 10)}' (low..high)")
+    return "\n".join(lines)
+
+
 __all__ = [
+    "CHART_SERIES",
     "DEFAULT_TIMELINE_REFS",
     "DEFAULT_TIMELINE_VCPUS",
     "DEFAULT_TIMELINE_WORKLOAD",
@@ -243,5 +309,6 @@ __all__ = [
     "TimelineResult",
     "TimelineSeries",
     "format_timeline",
+    "format_timeline_chart",
     "run_timeline",
 ]

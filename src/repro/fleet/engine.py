@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fleet.metrics import FleetResult, build_fleet_result
+from repro.obs.trace import active_tracer
 from repro.fleet.spec import FleetRequest, FleetSpec, migration_plan
 from repro.fleet.transport import (
     capture_vm_state,
@@ -212,8 +213,10 @@ def _simulate_fleet(
     placement = spec.initial_placement()
     moves_done = [0] * spec.num_vms
     transport = {"captures": 0, "restores": 0, "bytes": 0}
+    tracer = active_tracer()
 
     for epoch in range(spec.epochs):
+        epoch_start = tracer.now() if tracer else 0.0
         # 1. Every host advances its resident VMs through the epoch's
         #    base segment (hosts in index order; absent streams noop).
         for host_index, run in enumerate(runs):
@@ -247,6 +250,12 @@ def _simulate_fleet(
                 transport["bytes"] += payload_bytes(payload)
                 restore_vm_state(hosts[dst], vm, payload)
                 transport["restores"] += 1
+                if tracer:
+                    tracer.instant(
+                        "fleet.migrate", "fleet",
+                        epoch=epoch, vm=vm, src=src, dst=dst,
+                        bytes=payload_bytes(payload),
+                    )
                 for stream in vm_streams:
                     # the destination's positions for this VM are stale
                     # (it last saw them whenever the VM last left); the
@@ -262,6 +271,12 @@ def _simulate_fleet(
         #    of the wave's storms that host paid for.
         for run in runs:
             run.sample_interval()
+        if tracer:
+            tracer.complete(
+                "fleet.epoch", "fleet", epoch_start,
+                epoch=epoch, protocol=protocol, engine=engine,
+                migrations=len(plan[epoch]) if epoch < spec.epochs - 1 else 0,
+            )
 
     results = [run.result() for run in runs]
     digests = [machine_digest(host) for host in hosts]

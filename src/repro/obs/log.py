@@ -1,0 +1,72 @@
+"""Structured logging for the repro tree.
+
+Every warning and diagnostic message in the codebase routes through
+:func:`get_logger` so one knob — ``REPRO_LOG_LEVEL`` — controls
+verbosity everywhere.  The function returns the ordinary stdlib logger
+for ``name`` (so ``caplog`` fixtures and handler hierarchies keep
+working), after installing a single stderr handler on the shared
+``repro`` parent logger the first time it is called.
+
+Levels follow :func:`repro.env.env_choice` semantics: unset or empty
+means the default (``warning``); an unknown level raises ``ValueError``
+naming the variable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.env import env_choice
+
+LOG_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+LOG_LEVELS = ("debug", "info", "warning", "error")
+DEFAULT_LOG_LEVEL = "warning"
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+_configured = False
+
+
+def log_level_from_environment() -> str:
+    """Return the configured level name, parsing ``REPRO_LOG_LEVEL`` loudly."""
+
+    return env_choice(LOG_LEVEL_ENV_VAR, DEFAULT_LOG_LEVEL, LOG_LEVELS)
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    level = log_level_from_environment()
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(getattr(logging, level.upper()))
+    if not any(isinstance(handler, logging.StreamHandler) for handler in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the stdlib logger for ``name`` with shared repro configuration.
+
+    The logger name is preserved verbatim (``repro.api.cache`` stays
+    ``repro.api.cache``) so per-module filtering and test fixtures that
+    pin logger names keep working; only the shared ``repro`` parent is
+    configured, once per process.
+    """
+
+    _configure()
+    return logging.getLogger(name)
+
+
+def reset() -> None:
+    """Forget cached configuration so the next get_logger re-reads the env.
+
+    Intended for tests that monkeypatch ``REPRO_LOG_LEVEL``.
+    """
+
+    global _configured
+    _configured = False

@@ -1,0 +1,268 @@
+"""A Prometheus-style metrics registry shared across the repro tree.
+
+The registry holds counters, gauges, and histograms and renders them in
+the Prometheus text exposition format (version 0.0.4) — ``# HELP`` /
+``# TYPE`` comment lines followed by samples, optionally labelled.  The
+serve layer's ``GET /metrics`` endpoint renders its
+:class:`~repro.serve.metrics.ServiceMetrics` registry through
+:meth:`MetricsRegistry.render`; the same registry backs the ``/stats``
+JSON payload so the two surfaces can never disagree on a counter.
+
+Percentile math is NOT re-implemented here: exact quantiles come from
+:func:`repro.sim.stats.nearest_rank_percentile` (the single percentile
+implementation in the tree, with its empty/range boundary contracts);
+histograms only bucket observations for Prometheus-side aggregation.
+
+Layering: this module may import :mod:`repro.sim` and nothing above it.
+Store metrics for the api layer are therefore duck-typed — see
+:func:`store_snapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing sample (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = dict(labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def sample_lines(self) -> list[str]:
+        return [f"{self.name}{_format_labels(self.labels)} {_format_value(self.value)}"]
+
+
+class Gauge(Counter):
+    """A sample that can go up and down (queue depths, in-flight work)."""
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+#: Default latency buckets (seconds): microseconds to minutes, roughly
+#: logarithmic, suitable for both memoized hits and cold simulations.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.001,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+)
+
+
+class Histogram:
+    """A cumulative-bucket histogram in Prometheus semantics.
+
+    ``observe`` sorts each value into every bucket whose upper bound is
+    >= the value (buckets are cumulative), and maintains ``_sum`` and
+    ``_count`` samples.  Quantile *estimation* is left to the scraper;
+    exact percentiles live in :func:`repro.sim.stats.nearest_rank_percentile`.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Mapping[str, str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} buckets must be sorted: {buckets!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labels = dict(labels)
+        self.bounds = tuple(buckets)
+        self.bucket_counts = [0 for _ in self.bounds]
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def sample_lines(self) -> list[str]:
+        lines = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative = bucket_count
+            labels = dict(self.labels)
+            labels["le"] = _format_value(float(bound))
+            lines.append(f"{self.name}_bucket{_format_labels(labels)} {cumulative}")
+        labels = dict(self.labels)
+        labels["le"] = "+Inf"
+        lines.append(f"{self.name}_bucket{_format_labels(labels)} {self.count}")
+        lines.append(
+            f"{self.name}_sum{_format_labels(self.labels)} {_format_value(self.total)}"
+        )
+        lines.append(f"{self.name}_count{_format_labels(self.labels)} {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Holds metric instances and renders the text exposition format.
+
+    Metrics are keyed by ``(name, frozenset(labels))`` so one family
+    (one ``# HELP``/``# TYPE`` pair) can carry several labelled series,
+    e.g. ``repro_request_latency_seconds{class="hit"}`` and
+    ``{class="miss"}``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+        self._family_order: list[str] = []
+        self._family_kind: dict[str, str] = {}
+
+    def _register(self, metric) -> object:
+        key = (metric.name, tuple(sorted(metric.labels.items())))
+        if key in self._metrics:
+            existing = self._metrics[key]
+            if existing.kind != metric.kind:
+                raise ValueError(
+                    f"metric {metric.name} already registered as {existing.kind}"
+                )
+            return existing
+        known_kind = self._family_kind.get(metric.name)
+        if known_kind is not None and known_kind != metric.kind:
+            raise ValueError(
+                f"metric family {metric.name} already registered as {known_kind}"
+            )
+        if metric.name not in self._family_kind:
+            self._family_kind[metric.name] = metric.kind
+            self._family_order.append(metric.name)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labels or {}))
+
+    def gauge(
+        self, name: str, help_text: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labels or {}))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels or {}, buckets))
+
+    def families(self) -> list[str]:
+        return list(self._family_order)
+
+    def render(self) -> str:
+        """The Prometheus text exposition (format version 0.0.4)."""
+
+        lines: list[str] = []
+        for family in self._family_order:
+            members = [
+                metric
+                for (name, _), metric in sorted(self._metrics.items())
+                if name == family
+            ]
+            lines.append(f"# HELP {family} {members[0].help_text}")
+            lines.append(f"# TYPE {family} {self._family_kind[family]}")
+            for metric in members:
+                lines.extend(metric.sample_lines())
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# canonical store metrics
+# ----------------------------------------------------------------------
+#: The one source of truth for store-introspection counter names.  Both
+#: ``python -m repro cache info`` and the serve layer's ``/stats`` /
+#: ``/metrics`` surfaces render from :func:`store_snapshot`, so the two
+#: can never drift on what a counter is called.
+STORE_METRIC_HELP = {
+    "store_entries": "result entries on disk",
+    "checkpoint_entries": "checkpoint entries on disk",
+    "fleet_entries": "cached fleet runs on disk",
+    "fleet_capture_total": "VM snapshot captures across cached fleet runs",
+    "fleet_restore_total": "VM snapshot restores across cached fleet runs",
+    "fleet_transport_bytes_total": "snapshot transport bytes across cached fleet runs",
+    "stale_schema_miss_total": "cache lookups that hit a stale-schema entry",
+    "decode_error_miss_total": "cache lookups that hit an undecodable entry",
+}
+
+
+def store_snapshot(results, checkpoints=None) -> dict[str, int]:
+    """Canonical store metrics for a result cache (+ checkpoint store).
+
+    Duck-typed (``len``, ``fleet_traffic()``, miss counters) so this
+    module needs no import from :mod:`repro.api`.  Every key appears in
+    :data:`STORE_METRIC_HELP`; callers render, they do not rename.
+    """
+
+    fleet = results.fleet_traffic() if hasattr(results, "fleet_traffic") else {}
+    snapshot = {
+        "store_entries": len(results),
+        "checkpoint_entries": len(checkpoints) if checkpoints is not None else 0,
+        "fleet_entries": int(fleet.get("entries", 0)),
+        "fleet_capture_total": int(fleet.get("captures", 0)),
+        "fleet_restore_total": int(fleet.get("restores", 0)),
+        "fleet_transport_bytes_total": int(fleet.get("bytes", 0)),
+        "stale_schema_miss_total": int(getattr(results, "stale_schema_misses", 0)),
+        "decode_error_miss_total": int(getattr(results, "decode_error_misses", 0)),
+    }
+    if checkpoints is not None:
+        snapshot["stale_schema_miss_total"] += int(
+            getattr(checkpoints, "stale_schema_misses", 0)
+        )
+        snapshot["decode_error_miss_total"] += int(
+            getattr(checkpoints, "decode_error_misses", 0)
+        )
+    assert set(snapshot) == set(STORE_METRIC_HELP)
+    return snapshot

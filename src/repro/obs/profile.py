@@ -1,0 +1,210 @@
+"""Per-component cycle attribution and ASCII activity timelines.
+
+Pure functions over the telemetry a run already produces — final event
+counters, exact busy/coherence/background cycle splits, the energy
+model's per-component breakdown, and the PR 5 interval samples.  The
+``python -m repro profile`` report and ``timeline --chart`` sparklines
+render from here; nothing in this module touches simulation state.
+
+Two kinds of rows appear in the attribution tables and are labelled as
+such:
+
+* ``measured`` — exact values the simulator charged (busy, coherence,
+  background cycles; per-component energy).  These are digest-pinned.
+* ``modeled`` — event counts multiplied by :class:`~repro.sim.costs.CostModel`
+  figures, attributing *within* a measured bucket (e.g. how much of the
+  coherence bill is initiator-side IPI work vs target-side VM exits).
+  Modeled rows are estimates: the simulator charges some of these costs
+  with overlap, so sub-rows need not sum exactly to their parent.
+
+Layering: imports :mod:`repro.sim` and nothing above it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple, Optional, Sequence
+
+from repro.sim.costs import CostModel
+
+#: Characters for ASCII sparklines, lowest to highest activity.  Pure
+#: ASCII (no unicode blocks) so output survives every terminal and CI log.
+SPARK_RAMP = " .:-=+*#%@"
+
+
+class AttributionRow(NamedTuple):
+    """One row of a per-component cycle attribution table."""
+
+    component: str
+    cycles: float
+    #: "measured" (exact, digest-pinned) or "modeled" (events x costs).
+    basis: str
+    #: nesting depth for rendering (sub-rows attribute within a parent).
+    depth: int
+
+
+def _events_get(events: Mapping[str, int], name: str) -> int:
+    return int(events.get(name, 0))
+
+
+def cycle_attribution(
+    events: Mapping[str, int],
+    busy_cycles: int,
+    coherence_cycles: int,
+    background_cycles: int,
+    costs: Optional[CostModel] = None,
+) -> list[AttributionRow]:
+    """Attribute a run's cycles to translation/coherence/paging components.
+
+    Top-level rows are measured; indented sub-rows are modeled from the
+    event counters and the cost model.
+    """
+
+    costs = costs or CostModel()
+    get = lambda name: _events_get(events, name)  # noqa: E731
+
+    rows = [
+        AttributionRow(
+            "translate+memory (TLB/L1/walker data path)",
+            busy_cycles - coherence_cycles,
+            "measured",
+            0,
+        ),
+        AttributionRow(
+            "page-fault handling",
+            get("paging.nested_faults") * costs.page_fault_overhead,
+            "modeled",
+            1,
+        ),
+        AttributionRow("translation coherence", coherence_cycles, "measured", 0),
+        AttributionRow(
+            "shootdown initiator (IPIs + setup)",
+            get("coherence.remaps") * costs.shootdown_setup
+            + get("coherence.ipis") * (costs.ipi_send + costs.ack_wait),
+            "modeled",
+            1,
+        ),
+        AttributionRow(
+            "shootdown target (VM exits + flushes)",
+            get("coherence.vm_exits") * (costs.vm_exit + costs.vm_entry)
+            + get("coherence.full_flushes") * costs.full_translation_flush,
+            "modeled",
+            1,
+        ),
+        AttributionRow(
+            "directory lookups + invalidation messages",
+            get("coherence.eager_structure_lookups") * costs.directory_lookup
+            + (
+                get("hatric.invalidation_messages")
+                + get("unitd.invalidation_messages")
+            )
+            * costs.coherence_message,
+            "modeled",
+            1,
+        ),
+        AttributionRow(
+            "co-tag / CAM searches",
+            get("hatric.cotag_searches") * costs.cotag_search
+            + get("unitd.cam_searches") * costs.unitd_cam_search,
+            "modeled",
+            1,
+        ),
+        AttributionRow(
+            "paging daemon (background)", background_cycles, "measured", 0
+        ),
+        AttributionRow(
+            "page copies",
+            (
+                get("paging.first_touch")
+                + get("paging.demand_migrations")
+                + get("paging.prefetches")
+                + get("paging.evictions")
+                + get("paging.defrag_remaps")
+            )
+            * costs.page_copy,
+            "modeled",
+            1,
+        ),
+        AttributionRow(
+            "daemon wakeups",
+            get("paging.daemon_wakeups") * costs.daemon_wakeup,
+            "modeled",
+            1,
+        ),
+    ]
+    return rows
+
+
+def energy_components(components: Mapping[str, float]) -> list[tuple[str, float, float]]:
+    """Sorted (component, joules, share) rows from an energy breakdown.
+
+    ``components`` is :attr:`repro.energy.model.EnergyBreakdown.components`
+    — exact per-structure attribution (translation lookups, cache
+    levels, directory, messages, VM exits, IPIs, page copies).
+    """
+
+    total = sum(components.values())
+    rows = sorted(components.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        (name, value, (value / total) if total else 0.0) for name, value in rows
+    ]
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    peak: Optional[float] = None,
+) -> str:
+    """Render ``values`` as a fixed-width ASCII activity sparkline.
+
+    Scales against ``peak`` when given (so several sparklines can share
+    one scale, e.g. the same series across protocols), else against the
+    max of ``values``; an all-zero series renders as spaces.  When
+    ``width`` differs from ``len(values)`` the series is resampled by
+    bucket-maximum, so short spikes (a shootdown storm in one interval)
+    survive downsampling.
+    """
+
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    width = width or len(values)
+    if width <= 0:
+        raise ValueError(f"sparkline width must be positive, got {width}")
+    if len(values) != width:
+        buckets = []
+        for column in range(width):
+            start = column * len(values) // width
+            end = max(start + 1, (column + 1) * len(values) // width)
+            buckets.append(max(values[start:end]))
+        values = buckets
+    peak = max(values) if peak is None else float(peak)
+    if peak <= 0:
+        return " " * width
+    top = len(SPARK_RAMP) - 1
+    chars = []
+    for value in values:
+        level = int(round(value / peak * top))
+        if value > 0:
+            level = max(1, level)
+        chars.append(SPARK_RAMP[level])
+    return "".join(chars)
+
+
+def interval_series(
+    samples: Sequence, field: str = "coherence_cycles"
+) -> list[float]:
+    """Extract one per-interval series from IntervalSample-shaped objects.
+
+    ``field`` is either an attribute (``busy_cycles``, ``coherence_cycles``,
+    ``background_cycles``, ``instructions``, ``energy``) or an event
+    counter name (``coherence.ipis``) looked up in each sample's
+    ``events`` mapping.
+    """
+
+    series = []
+    for sample in samples:
+        if hasattr(sample, field):
+            series.append(float(getattr(sample, field)))
+        else:
+            series.append(float(sample.events.get(field, 0)))
+    return series

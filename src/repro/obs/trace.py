@@ -1,0 +1,249 @@
+"""Zero-dependency structured tracer emitting Chrome ``trace_event`` JSONL.
+
+Off by default.  ``REPRO_TRACE=out.jsonl`` (parsed loudly through
+:func:`repro.env.env_path`) turns tracing on for the process; every
+instrumented seam then appends one JSON object per line:
+
+``{"name": ..., "cat": ..., "ph": ..., "ts": ..., "pid": ..., "tid": ...,
+"args": {...}}``
+
+with ``ph`` one of ``X`` (complete span, carries ``dur``), ``i``
+(instant event, carries ``s: "t"``), or ``C`` (counter sample).  ``ts``
+and ``dur`` are microseconds, as the Chrome format requires.  The JSONL
+stream converts to a ``chrome://tracing`` / Perfetto-loadable JSON
+array with :func:`export_chrome` (``python -m repro trace export``).
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Zero overhead when disabled.**  Call sites do
+  ``tracer = active_tracer()`` and skip all bookkeeping when it returns
+  ``None``; the disabled path is a single cached global read.
+  Instrumentation sits only at batch/interval/epoch/request
+  granularity, never per-reference.
+* **Observation only.**  The tracer writes wall-clock data to an
+  external file and never touches simulation state, request hashing, or
+  cache keys, so results are bit-identical with tracing on and off.
+* **Spawn safety.**  Session worker pools use the spawn start method
+  and inherit ``REPRO_TRACE``.  The first process to initialise a
+  tracer claims the configured path by recording its pid in
+  ``_REPRO_TRACE_OWNER_PID``; spawned children write to
+  ``<path>.<pid>`` instead, so concurrent writers never interleave
+  lines in one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Optional
+
+from repro.env import env_path
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+TRACE_SUFFIXES = (".jsonl", ".json")
+_OWNER_PID_ENV_VAR = "_REPRO_TRACE_OWNER_PID"
+
+# Phases of the Chrome trace_event format this tracer emits.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+_REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = (PHASE_COMPLETE, PHASE_INSTANT, PHASE_COUNTER)
+
+
+def trace_path_from_environment() -> Optional[str]:
+    """Return the trace output path, or ``None`` when tracing is off."""
+
+    return env_path(TRACE_ENV_VAR, None, suffixes=TRACE_SUFFIXES)
+
+
+class Tracer:
+    """Appends trace_event JSON lines to a per-process file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = self._claim_path(path)
+        self._pid = os.getpid()
+        self._stream: Optional[IO[str]] = None
+
+    @staticmethod
+    def _claim_path(path: str) -> str:
+        owner = os.environ.get(_OWNER_PID_ENV_VAR)
+        pid = os.getpid()
+        if owner is None or owner == "":
+            os.environ[_OWNER_PID_ENV_VAR] = str(pid)
+            return path
+        if owner == str(pid):
+            return path
+        return f"{path}.{pid}"
+
+    def _write(self, event: dict) -> None:
+        if self._stream is None:
+            self._stream = open(self.path, "a", encoding="utf-8")
+        self._stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._stream.flush()
+
+    @staticmethod
+    def now() -> float:
+        """A monotonic timestamp for pairing with :meth:`complete`."""
+
+        return time.perf_counter()
+
+    def _base(self, name: str, cat: str, phase: str) -> dict:
+        return {
+            "name": name,
+            "cat": cat,
+            "ph": phase,
+            "ts": time.time_ns() // 1000,
+            "pid": self._pid,
+            "tid": 0,
+        }
+
+    def complete(self, name: str, cat: str, start: float, **args: object) -> None:
+        """Emit a ``ph: X`` complete span that began at ``start`` (from now())."""
+
+        duration_us = max(0, int((time.perf_counter() - start) * 1_000_000))
+        event = self._base(name, cat, PHASE_COMPLETE)
+        event["ts"] -= duration_us
+        event["dur"] = duration_us
+        if args:
+            event["args"] = args
+        self._write(event)
+
+    def instant(self, name: str, cat: str, **args: object) -> None:
+        """Emit a ``ph: i`` instant event."""
+
+        event = self._base(name, cat, PHASE_INSTANT)
+        event["s"] = "t"
+        if args:
+            event["args"] = args
+        self._write(event)
+
+    def counter(self, name: str, cat: str, **values: object) -> None:
+        """Emit a ``ph: C`` counter sample (one series per keyword)."""
+
+        event = self._base(name, cat, PHASE_COUNTER)
+        event["args"] = values
+        self._write(event)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+_UNSET = object()
+_tracer: object = _UNSET
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The process tracer, or ``None`` when ``REPRO_TRACE`` is unset.
+
+    Resolved once per process; the disabled fast path is a single global
+    read so instrumented seams cost nothing when tracing is off.
+    """
+
+    global _tracer
+    if _tracer is _UNSET:
+        path = trace_path_from_environment()
+        _tracer = Tracer(path) if path is not None else None
+    return _tracer  # type: ignore[return-value]
+
+
+def tracing_enabled() -> bool:
+    return active_tracer() is not None
+
+
+def reset() -> None:
+    """Close and forget the cached tracer so the env is re-read.
+
+    Intended for tests that monkeypatch ``REPRO_TRACE``.
+    """
+
+    global _tracer
+    if _tracer is not _UNSET and _tracer is not None:
+        _tracer.close()  # type: ignore[union-attr]
+    _tracer = _UNSET
+
+
+def load_events(path: str) -> list:
+    """Parse a JSONL trace file into a list of event dicts."""
+
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            events.append(event)
+    return events
+
+
+def validate_events(events: list) -> None:
+    """Raise ``ValueError`` unless every event is a well-formed trace_event.
+
+    Checks the fields Chrome/Perfetto require: the key set, known
+    phases, microsecond integer timestamps, and ``dur`` on complete
+    spans.
+    """
+
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: expected an object, got {type(event).__name__}")
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"{where}: missing required key {key!r}")
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            raise ValueError(f"{where}: ts must be a non-negative integer (microseconds)")
+        if phase == PHASE_COMPLETE:
+            duration = event.get("dur")
+            if not isinstance(duration, int) or duration < 0:
+                raise ValueError(
+                    f"{where}: complete span needs non-negative integer dur"
+                )
+        if phase == PHASE_COUNTER and not isinstance(event.get("args"), dict):
+            raise ValueError(f"{where}: counter event needs an args object")
+
+
+def export_chrome(jsonl_path: str, out_path: str) -> int:
+    """Convert a JSONL trace into a Chrome JSON-object trace file.
+
+    Validates every event, wraps the list as ``{"traceEvents": [...]}``
+    (the format ``chrome://tracing`` and Perfetto load directly), and
+    returns the number of events written.
+    """
+
+    events = load_events(jsonl_path)
+    validate_events(events)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(out_path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, separators=(",", ":"))
+        stream.write("\n")
+    return len(events)
+
+
+def summarize_events(events: list) -> dict:
+    """Aggregate a trace: per-name event counts and total span time."""
+
+    names: dict = {}
+    for event in events:
+        name = event.get("name", "?")
+        entry = names.setdefault(name, {"count": 0, "total_us": 0})
+        entry["count"] += 1
+        if event.get("ph") == PHASE_COMPLETE:
+            entry["total_us"] += int(event.get("dur", 0))
+    return {
+        "events": len(events),
+        "names": {name: names[name] for name in sorted(names)},
+    }

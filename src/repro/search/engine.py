@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.api import RunRequest, Session
 from repro.experiments.runner import baseline_config
+from repro.obs.trace import active_tracer
 from repro.experiments.scenarios import InvariantViolation, check_invariants
 from repro.search.objectives import DEFAULT_OBJECTIVE, OBJECTIVES, Objective
 from repro.search.space import (
@@ -413,6 +414,8 @@ def run_hunt(
             continue
         stalls = 0
 
+        tracer = active_tracer()
+        generation_start = tracer.now() if tracer else 0.0
         groups = session.run_matrix(
             [
                 candidate_requests(candidate, settings, base)
@@ -435,6 +438,13 @@ def run_hunt(
             candidates[name] = candidate
             evaluations.append(entry)
 
+        if tracer:
+            tracer.complete(
+                "hunt.generation", "hunt", generation_start,
+                generation=generation,
+                candidates=len(batch),
+                evaluated=len(evaluated),
+            )
         generation += 1
         ranked = sorted(
             evaluated.values(), key=lambda e: (-e.fitness, e.workload)

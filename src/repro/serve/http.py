@@ -198,6 +198,7 @@ class ReproServer:
         routes = {
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/stats"): self._get_stats,
+            ("GET", "/metrics"): self._get_metrics,
             ("POST", "/run"): self._post_run,
             ("POST", "/run/stream"): self._post_run_stream,
             ("POST", "/sweep"): self._post_sweep,
@@ -226,6 +227,25 @@ class ReproServer:
         payload = self.service.stats_snapshot()
         payload["ok"] = True
         await self._respond(writer, 200, payload)
+
+    async def _get_metrics(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        text = self.service.metrics_exposition().encode("utf-8")
+        try:
+            await self._send_headers(
+                writer,
+                200,
+                {
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                    "Content-Length": str(len(text)),
+                    "Connection": "close",
+                },
+            )
+            writer.write(text)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # scraper went away; nothing to clean up
 
     async def _post_run(
         self, writer: asyncio.StreamWriter, body: bytes

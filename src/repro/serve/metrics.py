@@ -1,4 +1,4 @@
-"""Service counters and latency accounting for the ``/stats`` endpoint.
+"""Service counters and latency accounting for ``/stats`` and ``/metrics``.
 
 The counters obey one conservation law the protocol tests pin::
 
@@ -9,6 +9,14 @@ one grid point of a ``/sweep``) is classified exactly once at admission
 time; ``rejected`` (4xx) and ``errors`` (execution failures) are
 tracked outside that identity because a rejected request never reaches
 planning and a failed execution was still classified ``executed``.
+
+Both surfaces render from one :class:`repro.obs.metrics.MetricsRegistry`:
+the JSON ``/stats`` payload reads the same counter objects the
+Prometheus text ``/metrics`` exposition renders, so the two can never
+disagree.  Exact percentiles (``/stats``) come from
+:func:`repro.sim.stats.nearest_rank_percentile` via the reservoirs;
+the registry histograms carry the same observations bucketed for
+Prometheus-side aggregation.
 """
 
 from __future__ import annotations
@@ -17,12 +25,27 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.stats import nearest_rank_percentile
 
 #: Latency sample cap; beyond it the reservoir stops growing (the
 #: percentiles of the first N samples are representative long before
 #: N reaches this).
 MAX_LATENCY_SAMPLES = 200_000
+
+#: (attribute name, metric name, help text) for every admission counter.
+#: One source of truth: the attribute API, the /stats payload, and the
+#: /metrics exposition all derive from this table.
+COUNTER_METRICS = (
+    ("requests", "repro_requests_total", "run units admitted to planning"),
+    ("memo_hits", "repro_memo_hits_total", "units answered from the session memo"),
+    ("disk_hits", "repro_disk_hits_total", "units answered from the disk cache"),
+    ("coalesced", "repro_coalesced_total", "units attached to an in-flight execution"),
+    ("executed", "repro_executed_total", "cold executions submitted to the pool"),
+    ("errors", "repro_errors_total", "admitted units whose execution raised"),
+    ("rejected", "repro_rejected_total", "requests rejected before admission"),
+    ("streams", "repro_streams_total", "streaming (SSE) connections opened"),
+)
 
 
 @dataclass
@@ -58,30 +81,44 @@ class LatencyReservoir:
         }
 
 
-@dataclass
 class ServiceMetrics:
-    """Mutable service-wide counters (single-threaded: the event loop)."""
+    """Mutable service-wide counters (single-threaded: the event loop).
 
-    #: run units admitted to planning (each classified exactly once).
-    requests: int = 0
-    #: answered from the session memo (includes disk entries promoted
-    #: by an earlier request).
-    memo_hits: int = 0
-    #: answered from the on-disk cache at admission.
-    disk_hits: int = 0
-    #: attached to an identical in-flight execution (single-flight).
-    coalesced: int = 0
-    #: cold executions actually submitted to the worker pool.
-    executed: int = 0
-    #: admitted units whose execution raised (subset of ``executed``).
-    errors: int = 0
-    #: requests rejected before admission (4xx: bad payload, bad route).
-    rejected: int = 0
-    #: streaming (SSE) connections opened.
-    streams: int = 0
-    started: float = field(default_factory=time.monotonic)
-    hit_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
-    miss_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    Counter attributes (``metrics.requests += 1`` and friends) are
+    properties over registry-held counters, so mutating them through
+    either surface keeps ``/stats`` and ``/metrics`` in lockstep.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.started = time.monotonic()
+        self.hit_latency = LatencyReservoir()
+        self.miss_latency = LatencyReservoir()
+        self._counters = {
+            attribute: self.registry.counter(name, help_text)
+            for attribute, name, help_text in COUNTER_METRICS
+        }
+        self._uptime = self.registry.gauge(
+            "repro_uptime_seconds", "seconds since service start"
+        )
+        self._in_flight = self.registry.gauge(
+            "repro_in_flight", "cold executions currently running or queued"
+        )
+        self._queue_depth = self.registry.gauge(
+            "repro_queue_depth", "executions waiting for a pool worker"
+        )
+        self._histograms = {
+            "hit": self.registry.histogram(
+                "repro_request_latency_seconds",
+                "request wall-clock latency by admission class",
+                labels={"class": "hit"},
+            ),
+            "miss": self.registry.histogram(
+                "repro_request_latency_seconds",
+                "request wall-clock latency by admission class",
+                labels={"class": "miss"},
+            ),
+        }
 
     @property
     def hits(self) -> int:
@@ -97,8 +134,10 @@ class ServiceMetrics:
         """File one request latency under its admission classification."""
         if source in ("memo", "disk"):
             self.hit_latency.add(seconds)
+            self._histograms["hit"].observe(seconds)
         else:
             self.miss_latency.add(seconds)
+            self._histograms["miss"].observe(seconds)
 
     def snapshot(self, in_flight: int, queue_depth: int) -> dict[str, Any]:
         """The ``/stats`` payload (plus live gauges from the service)."""
@@ -127,5 +166,49 @@ class ServiceMetrics:
             },
         }
 
+    def exposition(
+        self,
+        in_flight: int,
+        queue_depth: int,
+        extra_gauges: dict[str, tuple[str, float]] = {},
+    ) -> str:
+        """The Prometheus text for ``/metrics``.
 
-__all__ = ["LatencyReservoir", "MAX_LATENCY_SAMPLES", "ServiceMetrics"]
+        ``extra_gauges`` maps metric name to ``(help, value)`` for
+        scrape-time values owned by the service (worker pool size,
+        store entry counts).
+        """
+        self._uptime.set(time.monotonic() - self.started)
+        self._in_flight.set(in_flight)
+        self._queue_depth.set(queue_depth)
+        for name, (help_text, value) in extra_gauges.items():
+            self.registry.gauge(name, help_text).set(value)
+        return self.registry.render()
+
+
+def _counter_property(attribute: str):
+    def getter(self: ServiceMetrics) -> int:
+        return int(self._counters[attribute].value)
+
+    def setter(self: ServiceMetrics, value: int) -> None:
+        current = self._counters[attribute].value
+        if value < current:
+            raise ValueError(
+                f"counter {attribute} cannot decrease ({current} -> {value})"
+            )
+        self._counters[attribute].inc(value - current)
+
+    return property(getter, setter)
+
+
+for _attribute, _, _ in COUNTER_METRICS:
+    setattr(ServiceMetrics, _attribute, _counter_property(_attribute))
+del _attribute
+
+
+__all__ = [
+    "COUNTER_METRICS",
+    "LatencyReservoir",
+    "MAX_LATENCY_SAMPLES",
+    "ServiceMetrics",
+]

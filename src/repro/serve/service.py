@@ -39,6 +39,8 @@ from repro.api.session import (
     execute_request,
 )
 from repro.api.sweep import Sweep, SweepCell, SweepResult
+from repro.obs.metrics import STORE_METRIC_HELP, store_snapshot
+from repro.obs.trace import active_tracer
 from repro.serve.metrics import ServiceMetrics
 
 #: Default worker-process count for ``python -m repro serve``.
@@ -146,10 +148,16 @@ class SimulationService:
         the event loop, which is what makes classification race-free.
         """
         key = request.cache_key
+        tracer = active_tracer()
         self.metrics.requests += 1
         job = self._inflight.get(key)
         if job is not None:
             self.metrics.coalesced += 1
+            if tracer:
+                tracer.instant(
+                    "serve.request", "serve",
+                    key=key, source="coalesced", kind=kind,
+                )
             if queue is not None:
                 queue.put_nowait(("queued", {"key": key, "coalesced": True}))
                 job.queues.append(queue)
@@ -162,6 +170,10 @@ class SimulationService:
                 self.metrics.memo_hits += 1
             else:
                 self.metrics.disk_hits += 1
+            if tracer:
+                tracer.instant(
+                    "serve.request", "serve", key=key, source=source, kind=kind,
+                )
             result = self.session.peek(key)
             if queue is not None:
                 queue.put_nowait(
@@ -171,6 +183,10 @@ class SimulationService:
             return source, result
 
         self.metrics.executed += 1
+        if tracer:
+            tracer.instant(
+                "serve.request", "serve", key=key, source="executed", kind=kind,
+            )
         job = _Job(future=asyncio.get_running_loop().create_future())
         # mark the exception as retrieved even when every awaiter has
         # disconnected, so abandoned failures do not log asyncio noise
@@ -190,6 +206,8 @@ class SimulationService:
         self, key: str, request: Any, job: _Job, kind: str
     ) -> None:
         loop = asyncio.get_running_loop()
+        tracer = active_tracer()
+        start = tracer.now() if tracer else 0.0
         self._emit(job, "started", {"key": key})
         try:
             if kind == "fleet":
@@ -219,6 +237,11 @@ class SimulationService:
         except Exception as error:
             self.metrics.errors += 1
             self._inflight.pop(key, None)
+            if tracer:
+                tracer.complete(
+                    "serve.execute", "serve", start,
+                    key=key, kind=kind, outcome="error",
+                )
             if not job.future.done():
                 job.future.set_exception(error)
             self._emit(
@@ -230,6 +253,11 @@ class SimulationService:
             return
         self.session.store_result(key, result)
         self._inflight.pop(key, None)
+        if tracer:
+            tracer.complete(
+                "serve.execute", "serve", start,
+                key=key, kind=kind, outcome="ok",
+            )
         if not job.future.done():
             job.future.set_result(result)
         self._emit(job, "result", self.result_event(key, "executed", result))
@@ -318,12 +346,35 @@ class SimulationService:
             "executed": stats.executed,
             "simulations_avoided": stats.simulations_avoided,
         }
-        snapshot["store_entries"] = (
-            len(self.session.disk_cache)
-            if self.session.disk_cache is not None
-            else len(self.session)
-        )
+        store = self._store_snapshot()
+        snapshot["store_entries"] = store["store_entries"]
+        snapshot["store"] = store
         return snapshot
+
+    def _store_snapshot(self) -> dict[str, int]:
+        """Canonical store metrics (one name set with ``repro cache info``)."""
+        if self.session.disk_cache is not None:
+            return store_snapshot(
+                self.session.disk_cache, self.session.checkpoint_store
+            )
+        return store_snapshot(self.session)
+
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` Prometheus text (format 0.0.4).
+
+        Rendered from the same registry ``/stats`` reads, plus
+        scrape-time gauges for the worker pool and the store.
+        """
+        in_flight = len(self._inflight)
+        workers = self.settings.workers or STREAM_THREADS
+        extra = {"repro_workers": ("cold worker pool size", float(workers))}
+        for name, value in self._store_snapshot().items():
+            extra[f"repro_{name}"] = (STORE_METRIC_HELP[name], float(value))
+        return self.metrics.exposition(
+            in_flight=in_flight,
+            queue_depth=max(0, in_flight - workers),
+            extra_gauges=extra,
+        )
 
 
 __all__ = [

@@ -30,6 +30,8 @@ from repro.sim.engine import (
     make_executor,
     resolve_engine,
 )
+from repro.obs.log import get_logger
+from repro.obs.trace import active_tracer
 from repro.sim.config import SystemConfig
 from repro.sim.stats import IntervalSample, MachineStats
 from repro.translation.address import PAGE_SHIFT, PAGE_SIZE
@@ -41,6 +43,8 @@ from repro.workloads.base import (
     Workload,
     WorkloadTrace,
 )
+
+logger = get_logger(__name__)
 
 #: references processed per vCPU before moving to the next one.
 _INTERLEAVE_CHUNK = 32
@@ -254,8 +258,13 @@ class Simulator:
         self.engine = resolve_engine(engine, validate=validate)
         if self.engine in (ENGINE_FAST, ENGINE_SOA) and not install_fast_paths(
             self.chip
-        ):
-            self.engine = ENGINE_REFERENCE  # pragma: no cover - exotic geometry
+        ):  # pragma: no cover - exotic geometry
+            logger.warning(
+                "engine %s unavailable for this geometry; falling back to %s",
+                self.engine,
+                ENGINE_REFERENCE,
+            )
+            self.engine = ENGINE_REFERENCE
 
     # ------------------------------------------------------------------
     # running workloads
@@ -302,6 +311,8 @@ class Simulator:
           when given, and always at the last reusable round) and hand
           each snapshot dict to ``on_checkpoint``.
         """
+        tracer = active_tracer()
+        run_start = tracer.now() if tracer else 0.0
         trace = self._resolve_trace(workload, refs_total)
         self._validate_trace_shape(trace)
         if not 0.0 <= warmup_fraction < 1.0:
@@ -316,11 +327,40 @@ class Simulator:
         )
         warmup_executed = 0
         if warmup_requested:
+            warmup_start = tracer.now() if tracer else 0.0
             warmup_executed = executor.execute_span(
                 [0] * trace.num_vcpus, list(starts)
             )
             self._reset_statistics()
+            if tracer:
+                tracer.complete(
+                    "sim.warmup", "sim", warmup_start,
+                    refs=warmup_executed, engine=self.engine,
+                )
 
+        if tracer:
+            try:
+                return self._run_main(
+                    trace,
+                    contexts,
+                    executor,
+                    warmup_starts=starts,
+                    positions=list(starts),
+                    warmup_executed=warmup_executed,
+                    prior_executed=0,
+                    prior_intervals=[],
+                    interval_refs=interval_refs,
+                    on_interval=on_interval,
+                    anchor=None,
+                    anchor_refs=0,
+                    checkpoint_refs=checkpoint_refs,
+                    on_checkpoint=on_checkpoint,
+                )
+            finally:
+                tracer.complete(
+                    "sim.run", "sim", run_start,
+                    engine=self.engine, vcpus=trace.num_vcpus,
+                )
         return self._run_main(
             trace,
             contexts,
@@ -484,9 +524,18 @@ class Simulator:
         ends = [len(s) for s in trace.streams]
         intervals = prior_intervals
         chunk = _INTERLEAVE_CHUNK
+        tracer = active_tracer()
 
         def emit_interval(sample: IntervalSample) -> None:
             intervals.append(sample)
+            if tracer:
+                tracer.instant(
+                    "sim.interval", "sim",
+                    start_refs=sample.start_refs,
+                    end_refs=sample.end_refs,
+                    busy_cycles=sample.busy_cycles,
+                    coherence_cycles=sample.coherence_cycles,
+                )
             if on_interval is not None:
                 on_interval(sample)
 

@@ -64,7 +64,10 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.log import get_logger
 from repro.translation.address import CACHE_LINE_SIZE, PAGE_SHIFT
+
+logger = get_logger(__name__)
 
 #: log2 of the cache line size, the shift from line address to mirror slot.
 LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
@@ -271,6 +274,9 @@ def get_kernel(name: Optional[str] = None) -> tuple[str, ScanFn]:
                 resolved = (candidate, _BUILDERS[candidate]())
                 break
             except Exception as error:  # ImportError / RuntimeError
+                logger.debug(
+                    "SoA scan backend %s unavailable: %s", candidate, error
+                )
                 last_error = error
         else:  # pragma: no cover - the numpy backend cannot fail to build
             raise RuntimeError(
@@ -278,5 +284,8 @@ def get_kernel(name: Optional[str] = None) -> tuple[str, ScanFn]:
             )
     else:
         resolved = (requested, _BUILDERS[requested]())
+    logger.info(
+        "SoA scan kernel: %s (requested %s)", resolved[0], requested
+    )
     _RESOLVED[requested] = resolved
     return resolved

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -363,7 +364,10 @@ class TestCacheCli:
 
         assert main(["cache", "--cache-dir", str(tmp_path), "info"]) == 0
         out = capsys.readouterr().out
-        assert f"result entries: {good + 2}" in out
+        # canonical store-metric names (see repro.obs.metrics): the CLI
+        # renders the same table /stats and /metrics report from
+        assert re.search(rf"store_entries\s+{good + 2}\b", out)
+        assert re.search(r"checkpoint_entries\s+0\b", out)
 
         # the default --min-age (one hour) protects freshly-written
         # entries: a prune racing a live server deletes nothing young

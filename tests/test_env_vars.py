@@ -14,6 +14,8 @@ import pytest
 
 from repro.api.scale import ExperimentScale
 from repro.env import env_choice, env_float, env_int
+from repro.obs.log import log_level_from_environment
+from repro.obs.trace import trace_path_from_environment
 from repro.sim.engine import (
     ENGINE_FAST,
     resolve_engine,
@@ -91,6 +93,20 @@ ENV_TABLE = [
         "true",
         "true",
         "maybe",
+    ),
+    (
+        "REPRO_TRACE",
+        trace_path_from_environment,
+        "out.jsonl",
+        "out.jsonl",
+        "1",  # a boolean typo, not a trace file path
+    ),
+    (
+        "REPRO_LOG_LEVEL",
+        log_level_from_environment,
+        "debug",
+        "debug",
+        "loud",
     ),
 ]
 
